@@ -1,0 +1,115 @@
+// Command dcrd-broker runs one live DCRD broker node.
+//
+// A three-broker line overlay on one machine:
+//
+//	dcrd-broker -id 0 -listen :7000 -neighbor 1=localhost:7001
+//	dcrd-broker -id 1 -listen :7001 -neighbor 0=localhost:7000 -neighbor 2=localhost:7002
+//	dcrd-broker -id 2 -listen :7002 -neighbor 1=localhost:7001
+//
+// Then publish and subscribe with dcrd-pub / dcrd-sub.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+)
+
+// neighborFlags collects repeated -neighbor id=addr flags.
+type neighborFlags map[int]string
+
+func (n neighborFlags) String() string {
+	parts := make([]string, 0, len(n))
+	for id, addr := range n {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, addr))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (n neighborFlags) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want id=addr, got %q", v)
+	}
+	i, err := strconv.Atoi(id)
+	if err != nil {
+		return fmt.Errorf("bad neighbor id in %q: %w", v, err)
+	}
+	n[i] = addr
+	return nil
+}
+
+func main() {
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	if err := run(logger); err != nil {
+		logger.Fatalf("dcrd-broker: %v", err)
+	}
+}
+
+func run(logger *log.Logger) error {
+	fs := flag.NewFlagSet("dcrd-broker", flag.ContinueOnError)
+	neighbors := neighborFlags{}
+	var (
+		id         = fs.Int("id", 0, "broker ID (unique in the overlay)")
+		listen     = fs.String("listen", ":7000", "TCP listen address for brokers and clients")
+		m          = fs.Int("m", 1, "transmissions per neighbor before failover")
+		deadline   = fs.Duration("default-deadline", time.Second, "deadline applied when clients do not specify one")
+		verbose    = fs.Bool("v", false, "log routing and forwarding events")
+		configPath = fs.String("config", "", "overlay JSON file; -id selects this broker (overrides -listen/-neighbor)")
+	)
+	fs.Var(neighbors, "neighbor", "neighbor broker as id=addr (repeatable)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	var cfg broker.Config
+	if *configPath != "" {
+		oc, err := broker.LoadOverlay(*configPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = oc.BrokerConfig(*id)
+		if err != nil {
+			return err
+		}
+		if cfg.M == 0 {
+			cfg.M = *m
+		}
+		if cfg.DefaultDeadline == 0 {
+			cfg.DefaultDeadline = *deadline
+		}
+	} else {
+		cfg = broker.Config{
+			ID:              *id,
+			Listen:          *listen,
+			Neighbors:       neighbors,
+			M:               *m,
+			DefaultDeadline: *deadline,
+		}
+	}
+	if *verbose {
+		cfg.Logger = logger
+	}
+	b, err := broker.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := b.Start(); err != nil {
+		return err
+	}
+	logger.Printf("broker %d listening on %s with %d neighbors", cfg.ID, b.Addr(), len(cfg.Neighbors))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down; stats: %+v", b.Stats())
+	return b.Close()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/wire"
+)
+
+func TestMonAgainstLiveBroker(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := broker.New(broker.Config{ID: 3, Listen: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartListener(ln); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-broker", ln.Addr().String(), "-timeout", "3s"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "broker 3: published 0") {
+		t.Errorf("mon output = %q", sb.String())
+	}
+}
+
+func TestMonUnreachableBroker(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-broker", "127.0.0.1:1"}, &sb); err == nil {
+		t.Error("unreachable broker accepted")
+	}
+}
+
+func TestPrintStatsFull(t *testing.T) {
+	var sb strings.Builder
+	printStats(&sb, &wire.StatsReply{
+		BrokerID: 1, Published: 2, Delivered: 3, Forwarded: 4, Dropped: 5,
+		Neighbors: []wire.NeighborStat{
+			{ID: 2, Connected: true, Alpha: 15 * time.Millisecond, Gamma: 0.98},
+			{ID: 4, Connected: false, Alpha: 20 * time.Millisecond, Gamma: 0.5},
+		},
+		Routes: []wire.RouteStat{
+			{Topic: 7, Sub: 2, D: 30 * time.Millisecond, R: 0.97, ListLen: 2},
+		},
+	})
+	out := sb.String()
+	for _, want := range []string{
+		"broker 1: published 2, delivered 3, forwarded 4, dropped 5",
+		"up", "DOWN", "gamma 0.980",
+		"topic 7", "list 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command dcrd-pub publishes messages on a topic through a live DCRD
+// broker, either a single message or a periodic feed.
+//
+//	dcrd-pub -broker localhost:7000 -topic 5 -message "hello"
+//	dcrd-pub -broker localhost:7000 -topic 5 -every 1s -count 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/broker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcrd-pub: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("dcrd-pub", flag.ContinueOnError)
+	var (
+		addr     = fs.String("broker", "localhost:7000", "broker address")
+		topic    = fs.Int("topic", 0, "topic to publish on")
+		message  = fs.String("message", "", "message payload (default: sequence numbers)")
+		deadline = fs.Duration("deadline", 0, "QoS delay requirement (0 = broker default)")
+		every    = fs.Duration("every", 0, "publish periodically at this interval (0 = once)")
+		count    = fs.Int("count", 0, "stop after this many periodic messages (0 = forever)")
+		name     = fs.String("name", "dcrd-pub", "client name")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	c, err := broker.Dial(*addr, *name)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	payload := func(i int) []byte {
+		if *message != "" {
+			return []byte(*message)
+		}
+		return []byte(fmt.Sprintf("msg-%d", i))
+	}
+
+	if *every <= 0 {
+		if err := c.Publish(int32(*topic), *deadline, payload(0)); err != nil {
+			return err
+		}
+		log.Printf("published 1 message on topic %d via %s", *topic, *addr)
+		// Give the broker a beat to route before the TCP teardown.
+		time.Sleep(100 * time.Millisecond)
+		return nil
+	}
+
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	sent := 0
+	for range ticker.C {
+		if err := c.Publish(int32(*topic), *deadline, payload(sent)); err != nil {
+			return err
+		}
+		sent++
+		if *count > 0 && sent >= *count {
+			break
+		}
+	}
+	log.Printf("published %d messages on topic %d via %s", sent, *topic, *addr)
+	time.Sleep(100 * time.Millisecond)
+	return nil
+}

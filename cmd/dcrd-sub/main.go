@@ -1,0 +1,59 @@
+// Command dcrd-sub subscribes to a topic on a live DCRD broker and prints
+// every delivery with its end-to-end latency and deadline verdict.
+//
+//	dcrd-sub -broker localhost:7002 -topic 5 -deadline 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/broker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcrd-sub: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("dcrd-sub", flag.ContinueOnError)
+	var (
+		addr     = fs.String("broker", "localhost:7000", "broker address")
+		topic    = fs.Int("topic", 0, "topic to subscribe to")
+		deadline = fs.Duration("deadline", 0, "QoS delay requirement (0 = broker default)")
+		name     = fs.String("name", "dcrd-sub", "client name")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	c, err := broker.Dial(*addr, *name)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Subscribe(int32(*topic), *deadline); err != nil {
+		return err
+	}
+	log.Printf("subscribed to topic %d at %s (deadline %v)", *topic, *addr, *deadline)
+
+	for d := range c.Receive() {
+		verdict := "on time"
+		if *deadline > 0 && d.Latency > *deadline {
+			verdict = fmt.Sprintf("LATE by %v", (d.Latency - *deadline).Round(time.Millisecond))
+		}
+		fmt.Printf("topic %d pkt %d from broker %d: %q (latency %v, %s)\n",
+			d.Topic, d.PacketID, d.Source, d.Payload, d.Latency.Round(time.Microsecond), verdict)
+	}
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("connection lost: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command dcrdtopo generates and inspects overlay topologies: it prints the
+// link list, per-node degrees, diameter statistics and (optionally) the
+// Yen top-k shortest paths between a node pair — the inputs every routing
+// approach in this repository consumes.
+//
+//	dcrdtopo -nodes 20 -degree 5 -seed 3
+//	dcrdtopo -nodes 20 -degree 5 -paths 0,7 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dcrdtopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dcrdtopo", flag.ContinueOnError)
+	var (
+		nodes  = fs.Int("nodes", 20, "overlay size")
+		degree = fs.Int("degree", 0, "node degree; 0 = full mesh")
+		seed   = fs.Uint64("seed", 1, "generator seed")
+		links  = fs.Bool("links", false, "print the full link list")
+		paths  = fs.String("paths", "", "print k shortest paths between a pair, e.g. -paths 0,7")
+		k      = fs.Int("k", 5, "how many paths to print with -paths")
+		waxman = fs.String("waxman", "", "build a Waxman graph instead, as \"alpha,beta\" (e.g. 0.9,0.5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, *seed^0xcafef00d))
+	var (
+		g   *topology.Graph
+		err error
+	)
+	switch {
+	case *waxman != "":
+		alpha, beta, perr := parseWaxman(*waxman)
+		if perr != nil {
+			return perr
+		}
+		g, err = topology.Waxman(*nodes, alpha, beta, topology.DefaultDelayRange(), rng)
+	case *degree == 0 || *degree == *nodes-1:
+		g, err = topology.FullMesh(*nodes, topology.DefaultDelayRange(), rng)
+	default:
+		g, err = topology.RandomRegular(*nodes, *degree, topology.DefaultDelayRange(), rng)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "topology: %d nodes, %d links, connected=%v\n", g.N(), g.NumEdges(), g.Connected())
+
+	// Delay-diameter and hop-diameter across all pairs.
+	var maxDelay time.Duration
+	maxHops := 0
+	var sumDelay time.Duration
+	pairs := 0
+	for u := 0; u < g.N(); u++ {
+		dj := topology.Dijkstra(g, u, nil)
+		bf := topology.BFS(g, u)
+		for v := u + 1; v < g.N(); v++ {
+			if dj.Dist[v] == topology.Infinite {
+				continue
+			}
+			pairs++
+			sumDelay += dj.Dist[v]
+			if dj.Dist[v] > maxDelay {
+				maxDelay = dj.Dist[v]
+			}
+			p, err := bf.PathTo(v)
+			if err == nil && p.Hops() > maxHops {
+				maxHops = p.Hops()
+			}
+		}
+	}
+	if pairs > 0 {
+		fmt.Fprintf(out, "shortest-path delay: mean %v, max %v; hop diameter %d\n",
+			(sumDelay / time.Duration(pairs)).Round(time.Microsecond), maxDelay, maxHops)
+	}
+
+	if *links {
+		for _, l := range g.Links() {
+			fmt.Fprintf(out, "  %3d - %-3d %v\n", l.From, l.To, l.Delay)
+		}
+	}
+
+	if *paths != "" {
+		parts := strings.Split(*paths, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-paths wants \"src,dst\", got %q", *paths)
+		}
+		src, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return fmt.Errorf("bad source in -paths: %w", err)
+		}
+		dst, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("bad destination in -paths: %w", err)
+		}
+		ps, err := topology.KShortestPaths(g, src, dst, *k)
+		if err != nil {
+			return fmt.Errorf("paths %d->%d: %w", src, dst, err)
+		}
+		fmt.Fprintf(out, "top %d shortest-delay paths %d -> %d:\n", len(ps), src, dst)
+		for i, p := range ps {
+			d, err := p.Delay(g)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  %d. %v  (%v, %d hops)\n", i+1, []int(p), d, p.Hops())
+		}
+	}
+	return nil
+}
+
+// parseWaxman parses "alpha,beta".
+func parseWaxman(s string) (alpha, beta float64, err error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("-waxman wants \"alpha,beta\", got %q", s)
+	}
+	alpha, err = strconv.ParseFloat(strings.TrimSpace(a), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad alpha in -waxman: %w", err)
+	}
+	beta, err = strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad beta in -waxman: %w", err)
+	}
+	return alpha, beta, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopoMesh(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nodes", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "8 nodes, 28 links, connected=true") {
+		t.Errorf("mesh summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "hop diameter 1") {
+		t.Errorf("mesh hop diameter wrong:\n%s", out)
+	}
+}
+
+func TestTopoDegreeWithLinksAndPaths(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nodes", "12", "-degree", "4", "-links", "-paths", "0,5", "-k", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "12 nodes, 24 links") {
+		t.Errorf("degree summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "shortest-delay paths 0 -> 5") {
+		t.Errorf("paths section missing:\n%s", out)
+	}
+	// The link list should have exactly 24 link lines.
+	links := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " - ") {
+			links++
+		}
+	}
+	if links != 24 {
+		t.Errorf("printed %d links, want 24", links)
+	}
+}
+
+func TestTopoBadArgs(t *testing.T) {
+	tests := [][]string{
+		{"-paths", "zzz"},
+		{"-paths", "1"},
+		{"-paths", "a,b"},
+		{"-nodes", "5", "-degree", "3"}, // odd n*degree
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestTopoWaxman(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nodes", "25", "-waxman", "0.9,0.5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "25 nodes") || !strings.Contains(sb.String(), "connected=true") {
+		t.Errorf("waxman summary wrong:\n%s", sb.String())
+	}
+	for _, bad := range []string{"0.9", "x,y", "0.9,", ",0.5"} {
+		var sb strings.Builder
+		if err := run([]string{"-waxman", bad}, &sb); err == nil {
+			t.Errorf("-waxman %q accepted", bad)
+		}
+	}
+}

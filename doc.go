@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Delay-Cognizant
+// Reliable Delivery for Publish/Subscribe Overlay Networks" (ICDCS 2011):
+// the DCRD dynamic routing algorithm, the four baselines it is evaluated
+// against, the discrete-event network simulator the paper's figures are
+// measured on, and a live TCP broker runtime implementing the same
+// algorithm over real sockets.
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-vs-measured results. The building blocks:
+//
+//   - internal/core — DCRD itself: Eq. (1)–(3), Theorem-1 sending lists,
+//     Algorithm 1 route setup and Algorithm 2 forwarding.
+//   - internal/baseline — R-Tree, D-Tree, ORACLE and Multipath.
+//   - internal/des, internal/netsim, internal/topology, internal/pubsub —
+//     the simulation substrates.
+//   - internal/experiment — per-figure sweeps (Fig. 2–8).
+//   - internal/wire, internal/broker — the live middleware.
+//
+// bench_test.go in this directory regenerates every figure as a Go
+// benchmark; cmd/dcrdsim does the same from the command line.
+package repro

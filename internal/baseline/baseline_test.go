@@ -1,0 +1,434 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/topology"
+)
+
+// env bundles one simulated deployment for a baseline protocol.
+type env struct {
+	sim *des.Simulator
+	net *netsim.Network
+	w   *pubsub.Workload
+	col *metrics.Collector
+}
+
+type protocol interface {
+	Name() string
+	Publish(pkt pubsub.Packet)
+}
+
+func newEnv(t *testing.T, g *topology.Graph, cfg netsim.Config, pub int, subs []int) *env {
+	t.Helper()
+	sim := des.New(1)
+	net, err := netsim.New(sim, g, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subscriptions []pubsub.Subscription
+	for _, s := range subs {
+		subscriptions = append(subscriptions, pubsub.Subscription{Node: s})
+	}
+	w, err := pubsub.NewStatic(g, pubsub.DefaultConfig(), []pubsub.Topic{
+		{Publisher: pub, Subscribers: subscriptions},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{sim: sim, net: net, w: w, col: metrics.NewCollector()}
+}
+
+func (e *env) publish(t *testing.T, p protocol, id uint64) {
+	t.Helper()
+	pkt := pubsub.Packet{ID: id, Topic: 0, Source: e.w.Topic(0).Publisher, PublishedAt: e.sim.Now()}
+	e.col.Publish(&pkt, e.w.Topic(0).Subscribers)
+	p.Publish(pkt)
+}
+
+func (e *env) result() metrics.Result {
+	return e.col.Result(e.net.Stats().DataTransmissions)
+}
+
+func cleanConfig() netsim.Config {
+	return netsim.Config{FailureEpoch: time.Second, MonitorInterval: 5 * time.Minute}
+}
+
+// hopDiamond: 0-3 direct (90ms, 1 hop) vs 0-1-2-3 (3 hops, 30ms total).
+func hopDiamond(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 3, 90 * time.Millisecond},
+		{0, 1, 10 * time.Millisecond},
+		{1, 2, 10 * time.Millisecond},
+		{2, 3, 10 * time.Millisecond},
+	} {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestTreeKindString(t *testing.T) {
+	if ReliableTree.String() != "R-Tree" || DelayTree.String() != "D-Tree" {
+		t.Error("tree kind names wrong")
+	}
+}
+
+func TestRTreeUsesFewestHops(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewTreeRouter(e.net, e.w, e.col, ReliableTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 1 {
+		t.Fatalf("not delivered: %+v", res)
+	}
+	if res.Latencies[0] != 90*time.Millisecond {
+		t.Errorf("latency = %v, want 90ms (direct one-hop link)", res.Latencies[0])
+	}
+	if st := e.net.Stats(); st.DataTransmissions != 1 {
+		t.Errorf("transmissions = %d, want 1", st.DataTransmissions)
+	}
+}
+
+func TestDTreeUsesShortestDelay(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewTreeRouter(e.net, e.w, e.col, DelayTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 1 {
+		t.Fatalf("not delivered: %+v", res)
+	}
+	if res.Latencies[0] != 30*time.Millisecond {
+		t.Errorf("latency = %v, want 30ms (3-hop cheap path)", res.Latencies[0])
+	}
+	if st := e.net.Stats(); st.DataTransmissions != 3 {
+		t.Errorf("transmissions = %d, want 3", st.DataTransmissions)
+	}
+}
+
+func TestTreeDoesNotRerouteOnFailure(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewTreeRouter(e.net, e.w, e.col, DelayTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 0 {
+		t.Fatalf("D-Tree rerouted around a failure: %+v", res)
+	}
+	if res.Drops == 0 {
+		t.Error("expected a drop record")
+	}
+}
+
+func TestTreeRetransmitsWithM2(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewTreeRouter(e.net, e.w, e.col, DelayTree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Restore before the retransmission fires.
+	e.sim.At(25*time.Millisecond, func() {
+		if err := e.net.Restore(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.publish(t, r, 1)
+	e.sim.Run()
+	if res := e.result(); res.Delivered != 1 {
+		t.Fatalf("m=2 retransmission did not recover: %+v", res)
+	}
+}
+
+func TestTreeMulticastsOncePerLink(t *testing.T) {
+	// Star: 0-1, then 1-2 and 1-3. Both subscribers share the 0->1 edge.
+	g := topology.NewGraph(4)
+	for _, l := range [][2]int{{0, 1}, {1, 2}, {1, 3}} {
+		if err := g.AddLink(l[0], l[1], 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := newEnv(t, g, cleanConfig(), 0, []int{2, 3})
+	r, err := NewTreeRouter(e.net, e.w, e.col, DelayTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 2 {
+		t.Fatalf("not all delivered: %+v", res)
+	}
+	if st := e.net.Stats(); st.DataTransmissions != 3 {
+		t.Errorf("transmissions = %d, want 3 (shared first hop)", st.DataTransmissions)
+	}
+}
+
+func TestNewTreeRouterRejectsBadKind(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	if _, err := NewTreeRouter(e.net, e.w, e.col, TreeKind(99), 1); err == nil {
+		t.Error("bad tree kind accepted")
+	}
+}
+
+func TestOracleAvoidsFailedLink(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewOracleRouter(e.net, e.w, e.col, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 1 {
+		t.Fatalf("oracle failed to deliver: %+v", res)
+	}
+	// It must have taken the direct 90ms link immediately — no timeout.
+	if res.Latencies[0] != 90*time.Millisecond {
+		t.Errorf("latency = %v, want 90ms (instant detour)", res.Latencies[0])
+	}
+}
+
+func TestOracleWaitsOutTotalCutoff(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewOracleRouter(e.net, e.w, e.col, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut node 0 off entirely, restore at 1.5s (mid-epoch); the oracle
+	// retries at epoch boundaries, so it delivers after the 2s boundary.
+	if err := e.net.ForceDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	e.sim.At(1500*time.Millisecond, func() {
+		if err := e.net.Restore(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.net.Restore(0, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 1 {
+		t.Fatalf("oracle never recovered: %+v", res)
+	}
+	if res.Latencies[0] < 2*time.Second {
+		t.Errorf("latency = %v, expected to wait for the 2s epoch boundary", res.Latencies[0])
+	}
+}
+
+func TestMultipathSendsTwoCopies(t *testing.T) {
+	// Diamond with two fully disjoint routes.
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 1, 10 * time.Millisecond}, {1, 3, 10 * time.Millisecond},
+		{0, 2, 20 * time.Millisecond}, {2, 3, 20 * time.Millisecond},
+	} {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewMultipathRouter(e.net, e.w, e.col, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := r.Routes(0, 3)
+	if len(routes) != 2 {
+		t.Fatalf("routes = %v, want 2", routes)
+	}
+	if routes[0].SharedLinks(routes[1]) != 0 {
+		t.Errorf("second path shares links with the first: %v", routes)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 1 {
+		t.Fatalf("not delivered: %+v", res)
+	}
+	// Fast path delivers first: 20ms end to end.
+	if res.Latencies[0] != 20*time.Millisecond {
+		t.Errorf("latency = %v, want 20ms", res.Latencies[0])
+	}
+	// Both copies traverse 2 hops each.
+	if st := e.net.Stats(); st.DataTransmissions != 4 {
+		t.Errorf("transmissions = %d, want 4", st.DataTransmissions)
+	}
+}
+
+func TestMultipathSurvivesPrimaryPathFailure(t *testing.T) {
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 1, 10 * time.Millisecond}, {1, 3, 10 * time.Millisecond},
+		{0, 2, 20 * time.Millisecond}, {2, 3, 20 * time.Millisecond},
+	} {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewMultipathRouter(e.net, e.w, e.col, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 1 {
+		t.Fatalf("backup path did not deliver: %+v", res)
+	}
+	if res.Latencies[0] != 40*time.Millisecond {
+		t.Errorf("latency = %v, want 40ms (backup path)", res.Latencies[0])
+	}
+}
+
+func TestMultipathBothPathsDownDrops(t *testing.T) {
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 1, 10 * time.Millisecond}, {1, 3, 10 * time.Millisecond},
+		{0, 2, 20 * time.Millisecond}, {2, 3, 20 * time.Millisecond},
+	} {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	r, err := NewMultipathRouter(e.net, e.w, e.col, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.net.ForceDown(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	res := e.result()
+	if res.Delivered != 0 {
+		t.Fatalf("delivered with both paths down: %+v", res)
+	}
+	if res.Drops == 0 {
+		t.Error("expected drop records")
+	}
+}
+
+func TestMultipathSingleRouteWhenNoAlternative(t *testing.T) {
+	// A line has exactly one loopless path.
+	g := topology.NewGraph(3)
+	for _, l := range [][2]int{{0, 1}, {1, 2}} {
+		if err := g.AddLink(l[0], l[1], 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := newEnv(t, g, cleanConfig(), 0, []int{2})
+	r, err := NewMultipathRouter(e.net, e.w, e.col, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes := r.Routes(0, 2); len(routes) != 1 {
+		t.Errorf("routes = %v, want a single route", routes)
+	}
+	e.publish(t, r, 1)
+	e.sim.Run()
+	if res := e.result(); res.Delivered != 1 {
+		t.Fatalf("single-route delivery failed: %+v", res)
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	g := hopDiamond(t)
+	e := newEnv(t, g, cleanConfig(), 0, []int{3})
+	rt, err := NewTreeRouter(e.net, e.w, e.col, ReliableTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "R-Tree" {
+		t.Errorf("name = %q", rt.Name())
+	}
+	or, err := NewOracleRouter(e.net, e.w, e.col, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Name() != "ORACLE" {
+		t.Errorf("name = %q", or.Name())
+	}
+	mp, err := NewMultipathRouter(e.net, e.w, e.col, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Name() != "Multipath" {
+		t.Errorf("name = %q", mp.Name())
+	}
+}
+
+func TestLeastOverlapping(t *testing.T) {
+	p0 := topology.Path{0, 1, 2}
+	p1 := topology.Path{0, 1, 3, 2} // shares link 0-1
+	p2 := topology.Path{0, 4, 2}    // disjoint
+	if got := leastOverlapping([]topology.Path{p0, p1, p2}); !got.Equal(p2) {
+		t.Errorf("leastOverlapping picked %v, want %v", got, p2)
+	}
+	if got := leastOverlapping([]topology.Path{p0}); got != nil {
+		t.Errorf("single candidate should yield nil, got %v", got)
+	}
+	// Tie: earlier (shorter-delay) candidate wins.
+	if got := leastOverlapping([]topology.Path{p0, p2, topology.Path{0, 5, 2}}); !got.Equal(p2) {
+		t.Errorf("tie-break picked %v, want %v", got, p2)
+	}
+}

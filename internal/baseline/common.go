@@ -1,0 +1,159 @@
+// Package baseline implements the four comparison approaches of the paper's
+// evaluation (§IV-B):
+//
+//   - R-Tree: a routing tree using the shortest-hop-count path between each
+//     publisher and subscriber (most reliable tree).
+//   - D-Tree: a routing tree using the shortest-delay path.
+//   - ORACLE: the performance upper bound — shortest-delay routing that
+//     avoids any link failed at transmission time, since the oracle knows
+//     the whole network's instantaneous condition.
+//   - Multipath: duplicate copies per subscriber over the shortest-delay
+//     path and the least-overlapping of the top-5 shortest-delay paths.
+//
+// All approaches use hop-by-hop ACKs with m transmissions per link (Fig. 8
+// varies m), but none of them — except ORACLE's per-hop recomputation —
+// reroutes around failures; that is precisely the gap DCRD fills.
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// ack acknowledges one data frame hop-by-hop.
+type ack struct {
+	FrameID uint64
+}
+
+// defaultAckGuard pads the round-trip ACK timeout, mirroring the DCRD
+// router's guard.
+const defaultAckGuard = time.Millisecond
+
+// hopSender manages one node's unacknowledged transmissions: it sends a
+// frame, arms an ACK timer at the link round trip, retransmits up to the
+// attempt budget and invokes the failure callback when the budget is spent.
+type hopSender struct {
+	net      *netsim.Network
+	node     int
+	guard    time.Duration
+	inflight map[uint64]*hopFlight
+}
+
+type hopFlight struct {
+	frameID  uint64
+	to       int
+	payload  any
+	attempts int
+	budget   int // 0 means unlimited
+	timeout  time.Duration
+	timer    *des.Event
+	onFail   func()
+}
+
+func newHopSender(net *netsim.Network, node int) *hopSender {
+	return &hopSender{
+		net:      net,
+		node:     node,
+		guard:    defaultAckGuard,
+		inflight: make(map[uint64]*hopFlight),
+	}
+}
+
+// send transmits payload to neighbor to with the given attempt budget
+// (0 = retry until cancelled). onFail runs after the last attempt times out.
+func (h *hopSender) send(to int, payload any, budget int, onFail func()) {
+	wait, ok := h.net.AckWait(h.node, to)
+	if !ok {
+		if onFail != nil {
+			h.net.Sim().After(0, onFail)
+		}
+		return
+	}
+	fl := &hopFlight{
+		frameID: h.net.NextFrameID(),
+		to:      to,
+		payload: payload,
+		budget:  budget,
+		timeout: wait + h.guard,
+		onFail:  onFail,
+	}
+	h.inflight[fl.frameID] = fl
+	h.transmit(fl)
+}
+
+func (h *hopSender) transmit(fl *hopFlight) {
+	fl.attempts++
+	_ = h.net.Send(netsim.Frame{
+		ID:      fl.frameID,
+		From:    h.node,
+		To:      fl.to,
+		Kind:    netsim.Data,
+		Payload: fl.payload,
+	})
+	fl.timer = h.net.Sim().After(fl.timeout, func() { h.timeoutFired(fl) })
+}
+
+func (h *hopSender) timeoutFired(fl *hopFlight) {
+	if _, live := h.inflight[fl.frameID]; !live {
+		return
+	}
+	if fl.budget == 0 || fl.attempts < fl.budget {
+		h.transmit(fl)
+		return
+	}
+	delete(h.inflight, fl.frameID)
+	if fl.onFail != nil {
+		fl.onFail()
+	}
+}
+
+// handleAck resolves a pending flight; duplicate or stale ACKs are ignored.
+func (h *hopSender) handleAck(frameID uint64) {
+	fl, ok := h.inflight[frameID]
+	if !ok {
+		return
+	}
+	fl.timer.Cancel()
+	delete(h.inflight, frameID)
+}
+
+// sendAck acknowledges receipt of data frame f back to its sender.
+func sendAck(net *netsim.Network, node int, f netsim.Frame) {
+	_ = net.Send(netsim.Frame{
+		ID:      net.NextFrameID(),
+		From:    node,
+		To:      f.From,
+		Kind:    netsim.Control,
+		Payload: ack{FrameID: f.ID},
+	})
+}
+
+// groupByNextHop buckets destinations by their next hop, separating those
+// with no route.
+func groupByNextHop(dests []int, next func(dest int) int) (groups map[int][]int, unroutable []int) {
+	groups = make(map[int][]int)
+	for _, dest := range dests {
+		nh := next(dest)
+		if nh < 0 {
+			unroutable = append(unroutable, dest)
+			continue
+		}
+		groups[nh] = append(groups[nh], dest)
+	}
+	return groups, unroutable
+}
+
+// localDeliveries splits dests into those hosted at node (delivered
+// immediately) and the rest.
+func splitLocal(node int, dests []int) (local, remote []int) {
+	for _, d := range dests {
+		if d == node {
+			local = append(local, d)
+		} else {
+			remote = append(remote, d)
+		}
+	}
+	return local, remote
+}

@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/topology"
+)
+
+// TreeKind selects which fixed routing tree a TreeRouter uses.
+type TreeKind int
+
+// Tree kinds per the paper's §IV-B.
+const (
+	// ReliableTree (R-Tree) routes over the shortest-hop-count path between
+	// each publisher and subscriber, maximizing robustness to per-link
+	// failures by minimizing the number of links traversed.
+	ReliableTree TreeKind = iota + 1
+	// DelayTree (D-Tree) routes over the shortest-delay path.
+	DelayTree
+)
+
+// String returns the paper's name for the tree kind.
+func (k TreeKind) String() string {
+	switch k {
+	case ReliableTree:
+		return "R-Tree"
+	case DelayTree:
+		return "D-Tree"
+	default:
+		return fmt.Sprintf("TreeKind(%d)", int(k))
+	}
+}
+
+// treeData is a tree-routed data frame: the packet plus the destinations
+// this copy still serves.
+type treeData struct {
+	Pkt   pubsub.Packet
+	Dests []int
+}
+
+// TreeRouter forwards packets along a fixed per-publisher routing tree with
+// hop-by-hop ACKs and m transmissions per link. It never reroutes: when a
+// link stays failed through all m attempts, the affected subtree's
+// destinations are dropped — exactly the weakness the paper attributes to
+// tree-based approaches.
+type TreeRouter struct {
+	net  *netsim.Network
+	w    *pubsub.Workload
+	col  *metrics.Collector
+	kind TreeKind
+	m    int
+	// next[topic][dest][node] is the successor toward dest (absent = none).
+	next  []map[int]map[int]int
+	nodes []*treeNode
+}
+
+type treeNode struct {
+	r      *TreeRouter
+	id     int
+	sender *hopSender
+	seen   map[uint64]bool
+}
+
+// NewTreeRouter builds the per-topic routing trees and installs handlers on
+// every node. m is the per-link transmission budget (>=1).
+func NewTreeRouter(net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, kind TreeKind, m int) (*TreeRouter, error) {
+	if kind != ReliableTree && kind != DelayTree {
+		return nil, fmt.Errorf("baseline: unknown tree kind %d", int(kind))
+	}
+	if m < 1 {
+		m = 1
+	}
+	g := net.Graph()
+	r := &TreeRouter{
+		net:   net,
+		w:     w,
+		col:   col,
+		kind:  kind,
+		m:     m,
+		next:  make([]map[int]map[int]int, len(w.Topics())),
+		nodes: make([]*treeNode, g.N()),
+	}
+	for _, t := range w.Topics() {
+		var tree *topology.ShortestPathTree
+		switch kind {
+		case ReliableTree:
+			tree = topology.BFS(g, t.Publisher)
+		case DelayTree:
+			tree = topology.Dijkstra(g, t.Publisher, nil)
+		}
+		r.next[t.ID] = make(map[int]map[int]int, len(t.Subscribers))
+		for _, s := range t.Subscribers {
+			path, err := tree.PathTo(s.Node)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: %v tree for topic %d cannot reach %d: %w",
+					kind, t.ID, s.Node, err)
+			}
+			succ := make(map[int]int, len(path)-1)
+			for i := 0; i+1 < len(path); i++ {
+				succ[path[i]] = path[i+1]
+			}
+			r.next[t.ID][s.Node] = succ
+		}
+	}
+	for id := 0; id < g.N(); id++ {
+		tn := &treeNode{
+			r:      r,
+			id:     id,
+			sender: newHopSender(net, id),
+			seen:   make(map[uint64]bool),
+		}
+		r.nodes[id] = tn
+		net.SetHandler(id, tn.handleFrame)
+	}
+	return r, nil
+}
+
+// Name identifies the approach in experiment output.
+func (r *TreeRouter) Name() string { return r.kind.String() }
+
+// Publish injects a packet at its source broker.
+func (r *TreeRouter) Publish(pkt pubsub.Packet) {
+	node := r.nodes[pkt.Source]
+	local, remote := splitLocal(pkt.Source, r.w.Destinations(pkt.Topic))
+	now := r.net.Sim().Now()
+	for _, d := range local {
+		r.col.Deliver(pkt.ID, d, now)
+	}
+	node.forward(pkt, remote)
+}
+
+func (tn *treeNode) handleFrame(f netsim.Frame) {
+	switch p := f.Payload.(type) {
+	case ack:
+		tn.sender.handleAck(p.FrameID)
+	case treeData:
+		sendAck(tn.r.net, tn.id, f)
+		if tn.seen[f.ID] {
+			return
+		}
+		tn.seen[f.ID] = true
+		now := tn.r.net.Sim().Now()
+		local, remote := splitLocal(tn.id, p.Dests)
+		for _, d := range local {
+			tn.r.col.Deliver(p.Pkt.ID, d, now)
+		}
+		tn.forward(p.Pkt, remote)
+	}
+}
+
+// forward groups destinations by tree successor and sends one frame per
+// group with the m-transmission budget; exhausted budgets drop the group.
+func (tn *treeNode) forward(pkt pubsub.Packet, dests []int) {
+	if len(dests) == 0 {
+		return
+	}
+	groups, unroutable := groupByNextHop(dests, func(dest int) int {
+		succ, ok := tn.r.next[pkt.Topic][dest]
+		if !ok {
+			return -1
+		}
+		nh, ok := succ[tn.id]
+		if !ok {
+			return -1
+		}
+		return nh
+	})
+	for _, dest := range unroutable {
+		tn.r.col.Drop(pkt.ID, dest)
+	}
+	hops := make([]int, 0, len(groups))
+	for nh := range groups {
+		hops = append(hops, nh)
+	}
+	sort.Ints(hops)
+	for _, nh := range hops {
+		group := groups[nh]
+		payload := treeData{Pkt: pkt, Dests: append([]int(nil), group...)}
+		tn.sender.send(nh, payload, tn.r.m, func() {
+			for _, dest := range payload.Dests {
+				tn.r.col.Drop(pkt.ID, dest)
+			}
+		})
+	}
+}

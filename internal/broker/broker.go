@@ -1,0 +1,379 @@
+// Package broker implements a live DCRD messaging broker over real TCP
+// connections — the "candidate messaging middleware" integration the paper
+// lists as parallel work (§V). Each broker:
+//
+//   - maintains persistent connections to its configured overlay neighbors,
+//   - measures per-link alpha by pinging and tracks a gamma estimate from
+//     hop-by-hop ACK outcomes,
+//   - runs Algorithm 1 as a real distributed protocol: <d, r> parameter
+//     advertisements flow between neighbors whenever estimates change, and
+//     every broker keeps a Theorem-1-ordered sending list per
+//     (topic, subscriber-broker) pair,
+//   - forwards published messages with Algorithm 2: hop-by-hop ACKs,
+//     m transmissions per neighbor, failover to the next sending-list entry
+//     and rerouting to the upstream broker recorded in the packet's path,
+//   - serves clients (publishers and subscribers) on the same listener.
+//
+// Differences from the simulation model are deliberate and documented in
+// DESIGN.md: the live admission filter compares a neighbor's expected delay
+// against the subscription deadline directly (publishers are decoupled, so
+// the per-publisher residual budget D_XS of the simulation is unknowable),
+// and gamma is estimated adaptively from ACK outcomes instead of being
+// derived from known loss parameters.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Config describes one broker of a live overlay.
+type Config struct {
+	// ID is this broker's overlay-unique identifier (>= 0).
+	ID int
+	// Listen is the TCP address brokers and clients connect to.
+	Listen string
+	// Neighbors maps neighbor broker IDs to their listen addresses.
+	Neighbors map[int]string
+	// M is the number of transmissions per neighbor before failover.
+	M int
+	// AckGuard pads the ACK timeout beyond the measured round trip.
+	AckGuard time.Duration
+	// PingInterval is how often links are probed for alpha.
+	PingInterval time.Duration
+	// AdvertInterval is how often parameters are re-advertised even
+	// without changes (repairs lost adverts).
+	AdvertInterval time.Duration
+	// DialRetry is the back-off between reconnect attempts to a neighbor.
+	DialRetry time.Duration
+	// MaxLifetime bounds how long one packet may be retried.
+	MaxLifetime time.Duration
+	// DefaultDeadline applies to publishes that do not carry a deadline.
+	DefaultDeadline time.Duration
+	// Logger receives diagnostics; nil discards them.
+	Logger *log.Logger
+}
+
+// withDefaults fills unset tunables.
+func (c Config) withDefaults() Config {
+	if c.M < 1 {
+		c.M = 1
+	}
+	if c.AckGuard <= 0 {
+		c.AckGuard = 20 * time.Millisecond
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = 500 * time.Millisecond
+	}
+	if c.AdvertInterval <= 0 {
+		c.AdvertInterval = time.Second
+	}
+	if c.DialRetry <= 0 {
+		c.DialRetry = 250 * time.Millisecond
+	}
+	if c.MaxLifetime <= 0 {
+		c.MaxLifetime = 30 * time.Second
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = time.Second
+	}
+	return c
+}
+
+// Broker is a live DCRD overlay node. Construct with New, start with Start,
+// stop with Close.
+type Broker struct {
+	cfg Config
+	ln  net.Listener
+
+	mu        sync.Mutex
+	neighbors map[int]*neighborConn
+	clients   map[*clientConn]struct{}
+	// localSubs[topic][client] = deadline
+	localSubs map[int32]map[*clientConn]time.Duration
+	// routes[(topic, subscriberBroker)] = distributed routing state
+	routes map[routeKey]*routeState
+	// seen de-duplicates processed data frames (bounded).
+	seen *dedup
+	// deliveredSeen de-duplicates local client deliveries per packet
+	// (bounded); failover can legitimately produce duplicate copies.
+	deliveredSeen *dedup
+	// inflight tracks unacknowledged sends by frame ID.
+	inflight map[uint64]*flight
+
+	nextFrameID  uint64
+	nextPacketID uint64
+	closed       bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// stats
+	published uint64
+	delivered uint64
+	forwarded uint64
+	dropped   uint64
+}
+
+type routeKey struct {
+	topic int32
+	sub   int32
+}
+
+// routeState is the per-(topic, subscriber broker) routing state of
+// Algorithm 1: the latest neighbor parameters, this broker's own <d, r>,
+// and the Theorem-1 sending list.
+type routeState struct {
+	deadline time.Duration
+	// params[neighborID] is the neighbor's advertised <d, r>.
+	params map[int]core.DR
+	own    core.DR
+	list   []int
+	// advertised is the last value shared with neighbors.
+	advertised core.DR
+	haveAdv    bool
+}
+
+// New validates the configuration and prepares a broker (not yet listening).
+func New(cfg Config) (*Broker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("broker: negative ID %d", cfg.ID)
+	}
+	if cfg.Listen == "" {
+		return nil, errors.New("broker: empty listen address")
+	}
+	for id := range cfg.Neighbors {
+		if id == cfg.ID {
+			return nil, fmt.Errorf("broker %d: self-neighbor", cfg.ID)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("broker %d: negative neighbor ID %d", cfg.ID, id)
+		}
+	}
+	return &Broker{
+		cfg:           cfg,
+		neighbors:     make(map[int]*neighborConn),
+		clients:       make(map[*clientConn]struct{}),
+		localSubs:     make(map[int32]map[*clientConn]time.Duration),
+		routes:        make(map[routeKey]*routeState),
+		seen:          newDedup(1 << 16),
+		deliveredSeen: newDedup(1 << 16),
+		inflight:      make(map[uint64]*flight),
+		done:          make(chan struct{}),
+	}, nil
+}
+
+// dedup is a bounded recently-seen set of uint64 keys: once full, the
+// oldest entries are evicted FIFO. Long-lived brokers would otherwise grow
+// their frame/packet dedup state without bound.
+type dedup struct {
+	set   map[uint64]struct{}
+	order []uint64
+	head  int
+	max   int
+}
+
+func newDedup(max int) *dedup {
+	if max < 1 {
+		max = 1
+	}
+	return &dedup{set: make(map[uint64]struct{}, max), max: max}
+}
+
+// Seen reports whether k was already present, inserting it if not.
+func (d *dedup) Seen(k uint64) bool {
+	if _, ok := d.set[k]; ok {
+		return true
+	}
+	if len(d.order) < d.max {
+		d.order = append(d.order, k)
+	} else {
+		oldest := d.order[d.head]
+		delete(d.set, oldest)
+		d.order[d.head] = k
+		d.head = (d.head + 1) % d.max
+	}
+	d.set[k] = struct{}{}
+	return false
+}
+
+// ID returns the broker's overlay identifier.
+func (b *Broker) ID() int { return b.cfg.ID }
+
+// Addr returns the bound listen address (valid after Start), handy when
+// Config.Listen used port 0.
+func (b *Broker) Addr() string {
+	if b.ln == nil {
+		return b.cfg.Listen
+	}
+	return b.ln.Addr().String()
+}
+
+// Start binds the listener, launches the accept loop and begins dialing
+// neighbors and probing links.
+func (b *Broker) Start() error {
+	ln, err := net.Listen("tcp", b.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("broker %d: listen: %w", b.cfg.ID, err)
+	}
+	return b.StartListener(ln)
+}
+
+// StartListener is Start with a caller-provided listener — useful when
+// addresses must be known (port 0) before the full overlay's neighbor
+// configuration can be assembled.
+func (b *Broker) StartListener(ln net.Listener) error {
+	b.ln = ln
+	b.goTracked(func() { b.acceptLoop() })
+	for id, addr := range b.cfg.Neighbors {
+		// The lower ID owns the connection; the higher ID waits for it.
+		if b.cfg.ID < id {
+			id, addr := id, addr
+			b.goTracked(func() { b.dialLoop(id, addr) })
+		}
+	}
+	b.goTracked(func() { b.pingLoop() })
+	b.goTracked(func() { b.advertLoop() })
+	return nil
+}
+
+// Close shuts the broker down and waits for its goroutines.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.done)
+	conns := make([]*neighborConn, 0, len(b.neighbors))
+	for _, nc := range b.neighbors {
+		conns = append(conns, nc)
+	}
+	clients := make([]*clientConn, 0, len(b.clients))
+	for c := range b.clients {
+		clients = append(clients, c)
+	}
+	for _, fl := range b.inflight {
+		fl.timer.Stop()
+	}
+	b.mu.Unlock()
+
+	if b.ln != nil {
+		_ = b.ln.Close()
+	}
+	for _, nc := range conns {
+		nc.close()
+	}
+	for _, c := range clients {
+		_ = c.conn.Close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+// Stats is a snapshot of the broker's activity counters.
+type Stats struct {
+	Published uint64 // packets accepted from local publishers
+	Delivered uint64 // deliveries to local subscribers
+	Forwarded uint64 // data frames sent to neighbors
+	Dropped   uint64 // destinations given up on
+}
+
+// Stats returns the current counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Published: b.published,
+		Delivered: b.delivered,
+		Forwarded: b.forwarded,
+		Dropped:   b.dropped,
+	}
+}
+
+// statsReply snapshots the broker's operational state for a monitoring
+// client (cmd/dcrd-mon).
+func (b *Broker) statsReply(token uint64) *wire.StatsReply {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reply := &wire.StatsReply{
+		Token:     token,
+		BrokerID:  int32(b.cfg.ID),
+		Published: b.published,
+		Delivered: b.delivered,
+		Forwarded: b.forwarded,
+		Dropped:   b.dropped,
+	}
+	ids := make([]int, 0, len(b.neighbors))
+	for id := range b.neighbors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		nc := b.neighbors[id]
+		alpha, gamma := nc.estimate()
+		reply.Neighbors = append(reply.Neighbors, wire.NeighborStat{
+			ID:        int32(id),
+			Connected: nc.connected(),
+			Alpha:     alpha,
+			Gamma:     gamma,
+		})
+	}
+	keys := make([]routeKey, 0, len(b.routes))
+	for key := range b.routes {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].topic != keys[j].topic {
+			return keys[i].topic < keys[j].topic
+		}
+		return keys[i].sub < keys[j].sub
+	})
+	for _, key := range keys {
+		rs := b.routes[key]
+		reply.Routes = append(reply.Routes, wire.RouteStat{
+			Topic:   key.topic,
+			Sub:     key.sub,
+			D:       rs.own.D,
+			R:       rs.own.R,
+			ListLen: int32(len(rs.list)),
+		})
+	}
+	return reply
+}
+
+// goTracked runs fn on a goroutine registered with the broker's WaitGroup.
+func (b *Broker) goTracked(fn func()) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		fn()
+	}()
+}
+
+// logf writes a diagnostic when a logger is configured.
+func (b *Broker) logf(format string, args ...any) {
+	if b.cfg.Logger != nil {
+		b.cfg.Logger.Printf("broker %d: "+format, append([]any{b.cfg.ID}, args...)...)
+	}
+}
+
+// stopping reports whether Close has begun.
+func (b *Broker) stopping() bool {
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,411 @@
+package broker
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// overlay spins up a live broker overlay on localhost from an adjacency
+// list, handling the port-0 two-phase setup.
+type overlay struct {
+	brokers []*Broker
+	addrs   []string
+}
+
+// newOverlay builds n brokers with the given undirected adjacency.
+func newOverlay(t *testing.T, n int, links [][2]int) *overlay {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	neighbors := make([]map[int]string, n)
+	for i := range neighbors {
+		neighbors[i] = make(map[int]string)
+	}
+	for _, l := range links {
+		neighbors[l[0]][l[1]] = addrs[l[1]]
+		neighbors[l[1]][l[0]] = addrs[l[0]]
+	}
+	o := &overlay{addrs: addrs}
+	for i := 0; i < n; i++ {
+		b, err := New(Config{
+			ID:              i,
+			Listen:          addrs[i],
+			Neighbors:       neighbors[i],
+			PingInterval:    20 * time.Millisecond,
+			AdvertInterval:  30 * time.Millisecond,
+			DialRetry:       20 * time.Millisecond,
+			AckGuard:        30 * time.Millisecond,
+			DefaultDeadline: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.StartListener(listeners[i]); err != nil {
+			t.Fatal(err)
+		}
+		o.brokers = append(o.brokers, b)
+	}
+	t.Cleanup(func() {
+		for _, b := range o.brokers {
+			_ = b.Close()
+		}
+	})
+	return o
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// receiveOne waits for a single delivery on the client.
+func receiveOne(t *testing.T, c *Client, timeout time.Duration) Delivery {
+	t.Helper()
+	select {
+	case d, ok := <-c.Receive():
+		if !ok {
+			t.Fatalf("client %q connection closed: %v", c.name, c.Err())
+		}
+		return d
+	case <-time.After(timeout):
+		t.Fatalf("client %q: no delivery within %v", c.name, timeout)
+	}
+	panic("unreachable")
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{ID: -1, Listen: "x"}); err == nil {
+		t.Error("negative ID accepted")
+	}
+	if _, err := New(Config{ID: 0, Listen: ""}); err == nil {
+		t.Error("empty listen address accepted")
+	}
+	if _, err := New(Config{ID: 0, Listen: "x", Neighbors: map[int]string{0: "y"}}); err == nil {
+		t.Error("self-neighbor accepted")
+	}
+	if _, err := New(Config{ID: 0, Listen: "x", Neighbors: map[int]string{-2: "y"}}); err == nil {
+		t.Error("negative neighbor accepted")
+	}
+}
+
+func TestLocalPubSub(t *testing.T) {
+	// Publisher and subscriber on the same broker: no overlay hops at all.
+	o := newOverlay(t, 1, nil)
+	sub, err := Dial(o.addrs[0], "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := Dial(o.addrs[0], "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond) // let the subscription register
+	if err := pub.Publish(1, time.Second, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	d := receiveOne(t, sub, 2*time.Second)
+	if string(d.Payload) != "hello" || d.Topic != 1 {
+		t.Errorf("delivery = %+v", d)
+	}
+}
+
+func TestTwoBrokerDelivery(t *testing.T) {
+	o := newOverlay(t, 2, [][2]int{{0, 1}})
+	sub, err := Dial(o.addrs[1], "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(7, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for broker 0 to learn a route to (7, broker 1).
+	waitFor(t, 3*time.Second, "route propagation", func() bool {
+		b := o.brokers[0]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sendingListLocked(7, 1)) > 0
+	})
+	pub, err := Dial(o.addrs[0], "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(7, time.Second, []byte("cross-broker")); err != nil {
+		t.Fatal(err)
+	}
+	d := receiveOne(t, sub, 2*time.Second)
+	if string(d.Payload) != "cross-broker" {
+		t.Errorf("payload = %q", d.Payload)
+	}
+	if d.Source != 0 {
+		t.Errorf("source = %d, want 0", d.Source)
+	}
+}
+
+func TestLineDeliveryAcrossRelay(t *testing.T) {
+	// 0 - 1 - 2: broker 1 must relay using its sending list.
+	o := newOverlay(t, 3, [][2]int{{0, 1}, {1, 2}})
+	sub, err := Dial(o.addrs[2], "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(3, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "route at broker 0", func() bool {
+		b := o.brokers[0]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sendingListLocked(3, 2)) > 0
+	})
+	pub, err := Dial(o.addrs[0], "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish(3, 2*time.Second, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < 5; i++ {
+		d := receiveOne(t, sub, 2*time.Second)
+		seen[d.Payload[0]] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("received %d distinct messages, want 5", len(seen))
+	}
+	st := o.brokers[1].Stats()
+	if st.Forwarded == 0 {
+		t.Error("relay broker forwarded nothing")
+	}
+}
+
+func TestFanoutToMultipleSubscriberBrokers(t *testing.T) {
+	// Star around broker 0: subscribers at 1, 2, 3.
+	o := newOverlay(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	var subs []*Client
+	for i := 1; i <= 3; i++ {
+		c, err := Dial(o.addrs[i], "sub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Subscribe(9, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, c)
+	}
+	waitFor(t, 3*time.Second, "all routes at broker 0", func() bool {
+		b := o.brokers[0]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for i := int32(1); i <= 3; i++ {
+			if len(b.sendingListLocked(9, i)) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	pub, err := Dial(o.addrs[0], "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(9, time.Second, []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range subs {
+		d := receiveOne(t, c, 2*time.Second)
+		if string(d.Payload) != "fanout" {
+			t.Errorf("payload = %q", d.Payload)
+		}
+	}
+}
+
+func TestFailoverAroundDeadBroker(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3. Kill broker 1; publishes must keep
+	// arriving via 2.
+	o := newOverlay(t, 4, [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}})
+	sub, err := Dial(o.addrs[3], "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(5, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "both routes at broker 0", func() bool {
+		b := o.brokers[0]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sendingListLocked(5, 3)) >= 2
+	})
+	pub, err := Dial(o.addrs[0], "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	if err := pub.Publish(5, 2*time.Second, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if d := receiveOne(t, sub, 2*time.Second); string(d.Payload) != "before" {
+		t.Fatalf("first delivery = %q", d.Payload)
+	}
+
+	if err := o.brokers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Give broker 0 a moment to notice the dropped connection.
+	waitFor(t, 3*time.Second, "broker 0 sees neighbor 1 down", func() bool {
+		nc := o.brokers[0].neighbor(1)
+		return !nc.connected()
+	})
+
+	if err := pub.Publish(5, 2*time.Second, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if d := receiveOne(t, sub, 5*time.Second); string(d.Payload) != "after" {
+		t.Fatalf("post-failure delivery = %q", d.Payload)
+	}
+}
+
+func TestUnknownNeighborRejected(t *testing.T) {
+	o := newOverlay(t, 1, nil)
+	conn, err := net.Dial("tcp", o.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claim to be broker 42, which is not in the config.
+	if err := writeHello(conn, 42); err != nil {
+		t.Fatal(err)
+	}
+	// The broker should close the connection promptly.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection from unknown neighbor stayed open")
+	}
+}
+
+func TestBrokerCloseIdempotent(t *testing.T) {
+	o := newOverlay(t, 1, nil)
+	if err := o.brokers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.brokers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	o := newOverlay(t, 2, [][2]int{{0, 1}})
+	sub, err := Dial(o.addrs[1], "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "route", func() bool {
+		b := o.brokers[0]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sendingListLocked(1, 1)) > 0
+	})
+	pub, err := Dial(o.addrs[0], "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(1, time.Second, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	receiveOne(t, sub, 2*time.Second)
+	waitFor(t, time.Second, "stats to settle", func() bool {
+		return o.brokers[0].Stats().Published == 1 &&
+			o.brokers[0].Stats().Forwarded >= 1 &&
+			o.brokers[1].Stats().Delivered == 1
+	})
+}
+
+// writeHello sends a raw broker hello for the unknown-neighbor test.
+func writeHello(conn net.Conn, id int32) error {
+	return wire.Write(conn, &wire.Hello{BrokerID: id, Name: "impostor"})
+}
+
+func TestStatsRequestReply(t *testing.T) {
+	o := newOverlay(t, 2, [][2]int{{0, 1}})
+	sub, err := Dial(o.addrs[1], "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(3, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "route", func() bool {
+		b := o.brokers[0]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sendingListLocked(3, 1)) > 0
+	})
+	mon, err := Dial(o.addrs[0], "mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	reply, err := mon.Stats(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.BrokerID != 0 {
+		t.Errorf("broker ID = %d", reply.BrokerID)
+	}
+	if len(reply.Neighbors) != 1 || reply.Neighbors[0].ID != 1 || !reply.Neighbors[0].Connected {
+		t.Errorf("neighbors = %+v", reply.Neighbors)
+	}
+	found := false
+	for _, rt := range reply.Routes {
+		if rt.Topic == 3 && rt.Sub == 1 && rt.R > 0 && rt.ListLen == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("route (3,1) missing from %+v", reply.Routes)
+	}
+	// A second request works too (token correlation).
+	if _, err := mon.Stats(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

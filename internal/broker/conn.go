@@ -1,0 +1,415 @@
+package broker
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// neighborConn is the broker's view of one overlay link: the TCP connection
+// (owned by the lower-ID side), the measured alpha (EWMA of RTT/2) and the
+// adaptive gamma estimate driven by ACK outcomes.
+type neighborConn struct {
+	id int
+
+	mu       sync.Mutex
+	conn     net.Conn
+	alpha    time.Duration
+	gamma    float64
+	lastPing map[uint64]time.Time
+}
+
+// Link-estimate tuning.
+const (
+	// initialAlpha is assumed until the first pong arrives.
+	initialAlpha = 20 * time.Millisecond
+	// initialGamma is the optimistic starting delivery-ratio estimate.
+	initialGamma = 0.99
+	// gammaFloor keeps a dead link's estimate from reaching exactly zero so
+	// the route can recover once ACKs flow again.
+	gammaFloor = 0.05
+	// ewma weights for alpha and gamma updates.
+	alphaWeight = 0.3
+	gammaUp     = 0.05 // gain per successful ACK
+	gammaDown   = 0.5  // multiplicative decay per timeout
+)
+
+func newNeighborConn(id int) *neighborConn {
+	return &neighborConn{
+		id:       id,
+		alpha:    initialAlpha,
+		gamma:    initialGamma,
+		lastPing: make(map[uint64]time.Time),
+	}
+}
+
+// estimate returns the current <alpha, gamma> for the link.
+func (nc *neighborConn) estimate() (time.Duration, float64) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.alpha, nc.gamma
+}
+
+// connected reports whether a live TCP connection is attached.
+func (nc *neighborConn) connected() bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.conn != nil
+}
+
+// attach installs a TCP connection, replacing any previous one.
+func (nc *neighborConn) attach(conn net.Conn) {
+	nc.mu.Lock()
+	old := nc.conn
+	nc.conn = conn
+	nc.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// detach drops the connection if it is still the given one.
+func (nc *neighborConn) detach(conn net.Conn) {
+	nc.mu.Lock()
+	if nc.conn == conn {
+		nc.conn = nil
+	}
+	nc.mu.Unlock()
+	_ = conn.Close()
+}
+
+// close tears the link down.
+func (nc *neighborConn) close() {
+	nc.mu.Lock()
+	conn := nc.conn
+	nc.conn = nil
+	nc.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// send writes one message to the neighbor. Write errors drop the
+// connection; the dial loop will re-establish it.
+func (nc *neighborConn) send(msg wire.Message) error {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.conn == nil {
+		return errors.New("broker: neighbor not connected")
+	}
+	if err := wire.Write(nc.conn, msg); err != nil {
+		_ = nc.conn.Close()
+		nc.conn = nil
+		return err
+	}
+	return nil
+}
+
+// recordPing remembers an outgoing ping token.
+func (nc *neighborConn) recordPing(token uint64, at time.Time) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.lastPing[token] = at
+	// Bound the token map against lost pongs.
+	if len(nc.lastPing) > 64 {
+		for t := range nc.lastPing {
+			if len(nc.lastPing) <= 32 {
+				break
+			}
+			delete(nc.lastPing, t)
+		}
+	}
+}
+
+// recordPong folds an RTT sample into alpha. It reports whether the token
+// was known.
+func (nc *neighborConn) recordPong(token uint64, now time.Time) bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	sent, ok := nc.lastPing[token]
+	if !ok {
+		return false
+	}
+	delete(nc.lastPing, token)
+	sample := now.Sub(sent) / 2
+	if sample <= 0 {
+		sample = time.Millisecond / 2
+	}
+	nc.alpha = time.Duration((1-alphaWeight)*float64(nc.alpha) + alphaWeight*float64(sample))
+	return true
+}
+
+// ackSucceeded nudges gamma up after a timely ACK.
+func (nc *neighborConn) ackSucceeded() {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.gamma += gammaUp * (1 - nc.gamma)
+	if nc.gamma > 1 {
+		nc.gamma = 1
+	}
+}
+
+// ackTimedOut decays gamma after a missed ACK.
+func (nc *neighborConn) ackTimedOut() {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.gamma *= gammaDown
+	if nc.gamma < gammaFloor || math.IsNaN(nc.gamma) {
+		nc.gamma = gammaFloor
+	}
+}
+
+// clientConn is one connected publisher/subscriber.
+type clientConn struct {
+	name string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (c *clientConn) send(msg wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return wire.Write(c.conn, msg)
+}
+
+// acceptLoop handles inbound connections: the first frame must be a Hello
+// identifying a neighbor broker (BrokerID >= 0) or a client (-1).
+func (b *Broker) acceptLoop() {
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			if b.stopping() {
+				return
+			}
+			b.logf("accept: %v", err)
+			return
+		}
+		b.goTracked(func() { b.handleInbound(conn) })
+	}
+}
+
+// handleInbound performs the Hello handshake and dispatches to the broker
+// or client read loop.
+func (b *Broker) handleInbound(conn net.Conn) {
+	msg, err := wire.Read(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		b.logf("inbound %s: first frame %v, want HELLO", conn.RemoteAddr(), msg.Type())
+		_ = conn.Close()
+		return
+	}
+	if hello.BrokerID >= 0 {
+		b.handleNeighborConn(int(hello.BrokerID), conn)
+		return
+	}
+	b.handleClientConn(hello.Name, conn)
+}
+
+// handleNeighborConn registers an inbound broker link and pumps its frames.
+func (b *Broker) handleNeighborConn(id int, conn net.Conn) {
+	if _, known := b.cfg.Neighbors[id]; !known {
+		b.logf("rejecting unknown neighbor %d", id)
+		_ = conn.Close()
+		return
+	}
+	nc := b.neighbor(id)
+	nc.attach(conn)
+	b.logf("neighbor %d connected (inbound)", id)
+	b.readNeighbor(nc, conn)
+}
+
+// neighbor returns (creating if needed) the state for neighbor id.
+func (b *Broker) neighbor(id int) *neighborConn {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nc, ok := b.neighbors[id]
+	if !ok {
+		nc = newNeighborConn(id)
+		b.neighbors[id] = nc
+	}
+	return nc
+}
+
+// dialLoop owns the outbound connection to a higher-ID neighbor, redialing
+// with back-off whenever it drops.
+func (b *Broker) dialLoop(id int, addr string) {
+	nc := b.neighbor(id)
+	for !b.stopping() {
+		if nc.connected() {
+			if !sleepUnlessDone(b.done, b.cfg.DialRetry) {
+				return
+			}
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			if !sleepUnlessDone(b.done, b.cfg.DialRetry) {
+				return
+			}
+			continue
+		}
+		if err := wire.Write(conn, &wire.Hello{BrokerID: int32(b.cfg.ID), Name: "broker"}); err != nil {
+			_ = conn.Close()
+			continue
+		}
+		nc.attach(conn)
+		b.logf("neighbor %d connected (outbound)", id)
+		b.readNeighbor(nc, conn)
+	}
+}
+
+// readNeighbor pumps frames from one broker link until it fails.
+func (b *Broker) readNeighbor(nc *neighborConn, conn net.Conn) {
+	defer nc.detach(conn)
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !b.stopping() {
+				b.logf("neighbor %d read: %v", nc.id, err)
+			}
+			return
+		}
+		b.handleNeighborMsg(nc, msg)
+	}
+}
+
+// handleNeighborMsg dispatches one frame from a neighbor broker.
+func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Ping:
+		_ = nc.send(&wire.Pong{Token: m.Token})
+	case *wire.Pong:
+		nc.recordPong(m.Token, time.Now())
+	case *wire.Advert:
+		b.handleAdvert(nc.id, m)
+	case *wire.Ack:
+		b.handleAck(m.FrameID)
+	case *wire.Data:
+		_ = nc.send(&wire.Ack{FrameID: m.FrameID})
+		b.handleData(nc.id, m)
+	default:
+		b.logf("neighbor %d sent unexpected %v", nc.id, msg.Type())
+	}
+}
+
+// handleClientConn registers a client and pumps its requests.
+func (b *Broker) handleClientConn(name string, conn net.Conn) {
+	c := &clientConn{name: name, conn: conn}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	b.clients[c] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.clients, c)
+		for topic, subs := range b.localSubs {
+			if _, ok := subs[c]; ok {
+				delete(subs, c)
+				if len(subs) == 0 {
+					delete(b.localSubs, topic)
+				}
+			}
+		}
+		b.mu.Unlock()
+		b.recomputeLocalRoutes()
+		_ = conn.Close()
+	}()
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Subscribe:
+			b.subscribeLocal(c, m)
+		case *wire.Unsubscribe:
+			b.unsubscribeLocal(c, m)
+		case *wire.Publish:
+			b.publishLocal(m)
+		case *wire.Ping:
+			_ = c.send(&wire.Pong{Token: m.Token})
+		case *wire.StatsRequest:
+			_ = c.send(b.statsReply(m.Token))
+		default:
+			b.logf("client %q sent unexpected %v", name, msg.Type())
+		}
+	}
+}
+
+// pingLoop probes all connected neighbors for alpha.
+func (b *Broker) pingLoop() {
+	ticker := time.NewTicker(b.cfg.PingInterval)
+	defer ticker.Stop()
+	var token uint64
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-ticker.C:
+		}
+		b.mu.Lock()
+		conns := make([]*neighborConn, 0, len(b.neighbors))
+		for _, nc := range b.neighbors {
+			conns = append(conns, nc)
+		}
+		b.mu.Unlock()
+		for _, nc := range conns {
+			token++
+			nc.recordPing(token, time.Now())
+			_ = nc.send(&wire.Ping{Token: token})
+		}
+	}
+}
+
+// advertLoop periodically re-advertises all parameters (repairing lost
+// adverts and propagating alpha/gamma drift) and re-runs Algorithm 1.
+func (b *Broker) advertLoop() {
+	ticker := time.NewTicker(b.cfg.AdvertInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-ticker.C:
+		}
+		b.recomputeAndAdvertise(true)
+	}
+}
+
+// sleepUnlessDone waits d or until done closes; it reports false on done.
+func sleepUnlessDone(done <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// linkStats adapts neighbor estimates for core.BuildTable-style math.
+func (b *Broker) linkStats(id int) core.DR {
+	b.mu.Lock()
+	nc, ok := b.neighbors[id]
+	b.mu.Unlock()
+	if !ok || !nc.connected() {
+		return core.Unreachable()
+	}
+	alpha, gamma := nc.estimate()
+	return core.LinkStats(alpha, gamma, b.cfg.M)
+}

@@ -1,0 +1,364 @@
+package broker
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// packetCopy is Algorithm 2's per-copy state at this broker: the
+// destinations still unresolved here, the neighbors that timed out for this
+// copy, and the routing path the copy arrived with.
+type packetCopy struct {
+	packetID    uint64
+	topic       int32
+	source      int32
+	publishedAt time.Time
+	deadline    time.Duration
+	payload     []byte
+
+	path     []int32
+	pathSet  map[int32]bool
+	upstream int // -1 at the origin
+	pending  map[int32]bool
+	failed   map[int]bool
+}
+
+// flight is one sent group awaiting its hop-by-hop ACK.
+type flight struct {
+	frameID    uint64
+	to         int
+	dests      []int32
+	attempts   int
+	toUpstream bool
+	msg        *wire.Data
+	copyState  *packetCopy
+	timer      *time.Timer
+}
+
+// publishLocal accepts a publish from a connected client: deliver to local
+// subscribers immediately, then route one copy toward every known
+// subscriber broker with Algorithm 2.
+func (b *Broker) publishLocal(m *wire.Publish) {
+	deadline := m.Deadline
+	if deadline <= 0 {
+		deadline = b.cfg.DefaultDeadline
+	}
+	now := time.Now()
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.published++
+	b.nextPacketID++
+	// Packet IDs must be overlay-unique (delivery dedup keys on them), so
+	// the broker ID occupies the high bits.
+	pid := uint64(b.cfg.ID)<<48 | (b.nextPacketID & (1<<48 - 1))
+	pc := &packetCopy{
+		packetID:    pid,
+		topic:       m.Topic,
+		source:      int32(b.cfg.ID),
+		publishedAt: now,
+		deadline:    deadline,
+		payload:     m.Payload,
+		pathSet:     map[int32]bool{int32(b.cfg.ID): true},
+		upstream:    -1,
+		pending:     make(map[int32]bool),
+		failed:      make(map[int]bool),
+	}
+	for key, rs := range b.routes {
+		if key.topic != m.Topic || key.sub == int32(b.cfg.ID) {
+			continue
+		}
+		if rs.own.Reachable() || len(rs.params) > 0 {
+			pc.pending[key.sub] = true
+		}
+	}
+	deliverTo := b.localDeliveriesLocked(m.Topic)
+	b.processLocked(pc)
+	b.mu.Unlock()
+
+	b.deliver(deliverTo, &wire.Deliver{
+		Topic:       m.Topic,
+		PacketID:    pc.packetID,
+		Source:      pc.source,
+		PublishedAt: now,
+		Payload:     m.Payload,
+	})
+}
+
+// handleData processes a data frame from a neighbor (Algorithm 2, receive
+// side). The ACK was already sent by the caller.
+func (b *Broker) handleData(from int, m *wire.Data) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if b.seen.Seen(m.FrameID) {
+		b.mu.Unlock()
+		return
+	}
+
+	pc := &packetCopy{
+		packetID:    m.PacketID,
+		topic:       m.Topic,
+		source:      m.Source,
+		publishedAt: m.PublishedAt,
+		deadline:    m.Deadline,
+		payload:     m.Payload,
+		path:        append([]int32(nil), m.Path...),
+		pathSet:     make(map[int32]bool, len(m.Path)+1),
+		upstream:    upstreamOf(int32(b.cfg.ID), m.Path),
+		pending:     make(map[int32]bool),
+		failed:      make(map[int]bool),
+	}
+	for _, hop := range m.Path {
+		pc.pathSet[hop] = true
+	}
+	pc.pathSet[int32(b.cfg.ID)] = true
+
+	var deliverTo []*clientConn
+	var deliverMsg *wire.Deliver
+	for _, dest := range m.Dests {
+		if dest == int32(b.cfg.ID) {
+			if b.deliveredSeen.Seen(m.PacketID) {
+				continue // duplicate copy from a failover race
+			}
+			deliverTo = b.localDeliveriesLocked(m.Topic)
+			deliverMsg = &wire.Deliver{
+				Topic:       m.Topic,
+				PacketID:    m.PacketID,
+				Source:      m.Source,
+				PublishedAt: m.PublishedAt,
+				Payload:     m.Payload,
+			}
+			continue
+		}
+		pc.pending[dest] = true
+	}
+	b.processLocked(pc)
+	b.mu.Unlock()
+
+	if deliverMsg != nil {
+		b.deliver(deliverTo, deliverMsg)
+	}
+}
+
+// localDeliveriesLocked snapshots the local subscriber connections for a
+// topic.
+func (b *Broker) localDeliveriesLocked(topic int32) []*clientConn {
+	subs := b.localSubs[topic]
+	if len(subs) == 0 {
+		return nil
+	}
+	out := make([]*clientConn, 0, len(subs))
+	for c := range subs {
+		out = append(out, c)
+	}
+	return out
+}
+
+// deliver pushes a message to local subscriber clients (outside b.mu).
+func (b *Broker) deliver(clients []*clientConn, msg *wire.Deliver) {
+	for _, c := range clients {
+		if err := c.send(msg); err != nil {
+			b.logf("deliver to %q: %v", c.name, err)
+			continue
+		}
+		b.mu.Lock()
+		b.delivered++
+		b.mu.Unlock()
+	}
+}
+
+// processLocked is Algorithm 2's dispatch loop: assign every pending
+// destination to the first eligible sending-list neighbor, group shared
+// next hops into one frame, reroute exhausted destinations upstream, and
+// drop at the origin.
+func (b *Broker) processLocked(pc *packetCopy) {
+	if time.Since(pc.publishedAt) > b.cfg.MaxLifetime {
+		for dest := range pc.pending {
+			delete(pc.pending, dest)
+			b.dropped++
+			b.logf("packet %d: lifetime exceeded for dest %d", pc.packetID, dest)
+		}
+		return
+	}
+	groups := make(map[int][]int32)
+	var exhausted []int32
+	dests := make([]int32, 0, len(pc.pending))
+	for d := range pc.pending {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	for _, dest := range dests {
+		nh := b.nextHopLocked(pc, dest)
+		if nh < 0 {
+			exhausted = append(exhausted, dest)
+			continue
+		}
+		groups[nh] = append(groups[nh], dest)
+	}
+	hops := make([]int, 0, len(groups))
+	for nh := range groups {
+		hops = append(hops, nh)
+	}
+	sort.Ints(hops)
+	for _, nh := range hops {
+		b.sendGroupLocked(pc, nh, groups[nh], false)
+	}
+	if len(exhausted) == 0 {
+		return
+	}
+	if pc.upstream < 0 {
+		for _, dest := range exhausted {
+			delete(pc.pending, dest)
+			b.dropped++
+			b.logf("packet %d: no route to dest %d, dropping at origin", pc.packetID, dest)
+		}
+		return
+	}
+	b.sendGroupLocked(pc, pc.upstream, exhausted, true)
+}
+
+// nextHopLocked picks the first sending-list neighbor not on the routing
+// path, not failed for this copy, and currently connected.
+func (b *Broker) nextHopLocked(pc *packetCopy, dest int32) int {
+	for _, nid := range b.sendingListLocked(pc.topic, dest) {
+		if pc.pathSet[int32(nid)] || pc.failed[nid] {
+			continue
+		}
+		nc, ok := b.neighbors[nid]
+		if !ok || !nc.connected() {
+			continue
+		}
+		return nid
+	}
+	return -1
+}
+
+// sendGroupLocked transmits one group to neighbor nh and arms the ACK timer
+// (Algorithm 2 lines 13–22).
+func (b *Broker) sendGroupLocked(pc *packetCopy, nh int, dests []int32, toUpstream bool) {
+	for _, dest := range dests {
+		delete(pc.pending, dest)
+	}
+	pc.path = append(pc.path, int32(b.cfg.ID))
+	b.nextFrameID++
+	// Frame IDs must be unique across the whole overlay — receivers
+	// de-duplicate retransmissions by frame ID — so the broker ID is
+	// embedded in the high bits above a per-broker counter.
+	frameID := uint64(b.cfg.ID)<<48 | (b.nextFrameID & (1<<48 - 1))
+	msg := &wire.Data{
+		FrameID:     frameID,
+		PacketID:    pc.packetID,
+		Topic:       pc.topic,
+		Source:      pc.source,
+		PublishedAt: pc.publishedAt,
+		Deadline:    pc.deadline,
+		Dests:       append([]int32(nil), dests...),
+		Path:        append([]int32(nil), pc.path...),
+		Payload:     pc.payload,
+	}
+	fl := &flight{
+		frameID:    msg.FrameID,
+		to:         nh,
+		dests:      msg.Dests,
+		toUpstream: toUpstream,
+		msg:        msg,
+		copyState:  pc,
+	}
+	b.inflight[fl.frameID] = fl
+	b.transmitLocked(fl)
+}
+
+// transmitLocked performs one transmission attempt and arms the ACK timer
+// scaled to the link's measured round trip.
+func (b *Broker) transmitLocked(fl *flight) {
+	fl.attempts++
+	nc, ok := b.neighbors[fl.to]
+	var timeout time.Duration
+	if ok {
+		alpha, _ := nc.estimate()
+		timeout = 2*alpha + b.cfg.AckGuard
+		b.forwarded++
+		if err := nc.send(fl.msg); err != nil {
+			b.logf("send frame %d to %d: %v", fl.frameID, fl.to, err)
+		}
+	} else {
+		timeout = b.cfg.AckGuard
+	}
+	fl.timer = time.AfterFunc(timeout, func() { b.ackTimeout(fl.frameID) })
+}
+
+// handleAck resolves an in-flight group: the neighbor took responsibility,
+// so this broker forgets the copy (aggressive deletion, §III).
+func (b *Broker) handleAck(frameID uint64) {
+	b.mu.Lock()
+	fl, ok := b.inflight[frameID]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	fl.timer.Stop()
+	delete(b.inflight, frameID)
+	nc := b.neighbors[fl.to]
+	b.mu.Unlock()
+	if nc != nil {
+		nc.ackSucceeded()
+	}
+}
+
+// ackTimeout fires when a group's ACK never arrived: retransmit within the
+// m budget (or indefinitely toward the upstream), otherwise mark the
+// neighbor failed for this copy and re-process its destinations.
+func (b *Broker) ackTimeout(frameID uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	fl, ok := b.inflight[frameID]
+	if !ok {
+		return
+	}
+	if nc := b.neighbors[fl.to]; nc != nil {
+		nc.ackTimedOut()
+	}
+	expired := time.Since(fl.copyState.publishedAt) > b.cfg.MaxLifetime
+	if !expired && (fl.toUpstream || fl.attempts < b.cfg.M) {
+		b.transmitLocked(fl)
+		return
+	}
+	delete(b.inflight, frameID)
+	if expired {
+		b.dropped += uint64(len(fl.dests))
+		return
+	}
+	fl.copyState.failed[fl.to] = true
+	for _, dest := range fl.dests {
+		fl.copyState.pending[dest] = true
+	}
+	b.processLocked(fl.copyState)
+}
+
+// upstreamOf finds the upstream broker in a routing path: the entry before
+// node's first appearance, the last sender for fresh arrivals, or -1 at the
+// origin.
+func upstreamOf(node int32, path []int32) int {
+	for i, hop := range path {
+		if hop == node {
+			if i == 0 {
+				return -1
+			}
+			return int(path[i-1])
+		}
+	}
+	if len(path) == 0 {
+		return -1
+	}
+	return int(path[len(path)-1])
+}

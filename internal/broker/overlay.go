@@ -1,0 +1,126 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// OverlayConfig describes a whole broker overlay in one file, so every
+// broker of a deployment can be started from the same JSON document:
+//
+//	{
+//	  "brokers": [
+//	    {"id": 0, "addr": "host-a:7000"},
+//	    {"id": 1, "addr": "host-b:7000"},
+//	    {"id": 2, "addr": "host-c:7000"}
+//	  ],
+//	  "links": [[0,1],[1,2]],
+//	  "m": 1,
+//	  "default_deadline_ms": 1000
+//	}
+type OverlayConfig struct {
+	Brokers []OverlayBroker `json:"brokers"`
+	// Links lists undirected overlay links as broker-ID pairs.
+	Links [][2]int `json:"links"`
+	// M is the per-neighbor transmission budget (default 1).
+	M int `json:"m,omitempty"`
+	// DefaultDeadlineMS applies when clients do not specify a deadline.
+	DefaultDeadlineMS int `json:"default_deadline_ms,omitempty"`
+}
+
+// OverlayBroker is one broker of an overlay file.
+type OverlayBroker struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// LoadOverlay reads and validates an overlay file.
+func LoadOverlay(path string) (*OverlayConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("broker: read overlay: %w", err)
+	}
+	return ParseOverlay(data)
+}
+
+// ParseOverlay validates an overlay document.
+func ParseOverlay(data []byte) (*OverlayConfig, error) {
+	var oc OverlayConfig
+	if err := json.Unmarshal(data, &oc); err != nil {
+		return nil, fmt.Errorf("broker: parse overlay: %w", err)
+	}
+	if len(oc.Brokers) == 0 {
+		return nil, fmt.Errorf("broker: overlay has no brokers")
+	}
+	seen := make(map[int]bool, len(oc.Brokers))
+	for _, b := range oc.Brokers {
+		if b.ID < 0 {
+			return nil, fmt.Errorf("broker: overlay broker ID %d negative", b.ID)
+		}
+		if b.Addr == "" {
+			return nil, fmt.Errorf("broker: overlay broker %d has no address", b.ID)
+		}
+		if seen[b.ID] {
+			return nil, fmt.Errorf("broker: duplicate overlay broker ID %d", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	for _, l := range oc.Links {
+		if l[0] == l[1] {
+			return nil, fmt.Errorf("broker: overlay self-link at %d", l[0])
+		}
+		if !seen[l[0]] || !seen[l[1]] {
+			return nil, fmt.Errorf("broker: overlay link (%d,%d) references unknown broker", l[0], l[1])
+		}
+	}
+	if oc.M < 0 || oc.DefaultDeadlineMS < 0 {
+		return nil, fmt.Errorf("broker: overlay m/deadline must be non-negative")
+	}
+	return &oc, nil
+}
+
+// Addr returns the configured address of broker id.
+func (oc *OverlayConfig) Addr(id int) (string, bool) {
+	for _, b := range oc.Brokers {
+		if b.ID == id {
+			return b.Addr, true
+		}
+	}
+	return "", false
+}
+
+// BrokerConfig derives the Config for one broker of the overlay.
+func (oc *OverlayConfig) BrokerConfig(id int) (Config, error) {
+	addr, ok := oc.Addr(id)
+	if !ok {
+		return Config{}, fmt.Errorf("broker: overlay has no broker %d", id)
+	}
+	cfg := Config{
+		ID:        id,
+		Listen:    addr,
+		Neighbors: make(map[int]string),
+		M:         oc.M,
+	}
+	if oc.DefaultDeadlineMS > 0 {
+		cfg.DefaultDeadline = time.Duration(oc.DefaultDeadlineMS) * time.Millisecond
+	}
+	for _, l := range oc.Links {
+		var peer int
+		switch id {
+		case l[0]:
+			peer = l[1]
+		case l[1]:
+			peer = l[0]
+		default:
+			continue
+		}
+		peerAddr, ok := oc.Addr(peer)
+		if !ok {
+			return Config{}, fmt.Errorf("broker: overlay link references unknown broker %d", peer)
+		}
+		cfg.Neighbors[peer] = peerAddr
+	}
+	return cfg, nil
+}

@@ -1,0 +1,237 @@
+package broker
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// advertTolerance is how much a <d, r> estimate must move before the broker
+// bothers re-advertising it.
+const advertTolerance = time.Millisecond
+
+// subscribeLocal registers a client subscription and makes this broker a
+// destination for the topic: its own parameters for (topic, self) become
+// the pinned <0, 1> of Algorithm 1, which then ripple outward via adverts.
+func (b *Broker) subscribeLocal(c *clientConn, m *wire.Subscribe) {
+	deadline := m.Deadline
+	if deadline <= 0 {
+		deadline = b.cfg.DefaultDeadline
+	}
+	b.mu.Lock()
+	subs := b.localSubs[m.Topic]
+	if subs == nil {
+		subs = make(map[*clientConn]time.Duration)
+		b.localSubs[m.Topic] = subs
+	}
+	subs[c] = deadline
+	b.mu.Unlock()
+	b.logf("client %q subscribed to topic %d (deadline %v)", c.name, m.Topic, deadline)
+	b.recomputeAndAdvertise(false)
+}
+
+// unsubscribeLocal removes one client's subscription; when it was the last
+// local subscriber the self-route is withdrawn (Gone adverts follow from
+// the recomputation).
+func (b *Broker) unsubscribeLocal(c *clientConn, m *wire.Unsubscribe) {
+	b.mu.Lock()
+	if subs := b.localSubs[m.Topic]; subs != nil {
+		delete(subs, c)
+		if len(subs) == 0 {
+			delete(b.localSubs, m.Topic)
+		}
+	}
+	b.mu.Unlock()
+	b.logf("client %q unsubscribed from topic %d", c.name, m.Topic)
+	b.recomputeAndAdvertise(true)
+}
+
+// recomputeLocalRoutes refreshes routes after client churn.
+func (b *Broker) recomputeLocalRoutes() {
+	b.recomputeAndAdvertise(false)
+}
+
+// handleAdvert folds a neighbor's <d, r> for (topic, sub) into the local
+// route state (Algorithm 1, receive side) and recomputes.
+func (b *Broker) handleAdvert(from int, m *wire.Advert) {
+	key := routeKey{topic: m.Topic, sub: m.Sub}
+	b.mu.Lock()
+	rs := b.routes[key]
+	if rs == nil {
+		rs = &routeState{params: make(map[int]core.DR), own: core.Unreachable()}
+		b.routes[key] = rs
+	}
+	if m.Gone {
+		delete(rs.params, from)
+	} else {
+		rs.params[from] = core.DR{D: m.D, R: m.R}
+		if m.Deadline > 0 {
+			rs.deadline = m.Deadline
+		}
+	}
+	b.mu.Unlock()
+	b.recomputeAndAdvertise(false)
+}
+
+// pendingAdvert pairs a recipient-independent advert with the route it
+// describes.
+type pendingAdvert struct {
+	adv wire.Advert
+}
+
+// recomputeAndAdvertise re-runs Algorithm 1 over every known
+// (topic, subscriber) pair: refresh the pinned local-destination routes,
+// admit eligible neighbors, order them by Theorem 1, recompute <d, r> via
+// Eq. (3) and advertise values that moved (or everything, when force is
+// set, to repair lost adverts and spread alpha/gamma drift).
+func (b *Broker) recomputeAndAdvertise(force bool) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.refreshLocalDestinationsLocked()
+
+	var adverts []pendingAdvert
+	keys := make([]routeKey, 0, len(b.routes))
+	for key := range b.routes {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].topic != keys[j].topic {
+			return keys[i].topic < keys[j].topic
+		}
+		return keys[i].sub < keys[j].sub
+	})
+	for _, key := range keys {
+		rs := b.routes[key]
+		b.recomputeRouteLocked(key, rs)
+		if force || advertNeeded(rs) {
+			rs.advertised = rs.own
+			rs.haveAdv = true
+			adverts = append(adverts, pendingAdvert{adv: wire.Advert{
+				Topic:    key.topic,
+				Sub:      key.sub,
+				D:        rs.own.D,
+				R:        rs.own.R,
+				Deadline: rs.deadline,
+				Gone:     !rs.own.Reachable(),
+			}})
+		}
+	}
+	conns := make([]*neighborConn, 0, len(b.neighbors))
+	for _, nc := range b.neighbors {
+		conns = append(conns, nc)
+	}
+	b.mu.Unlock()
+
+	for _, pa := range adverts {
+		for _, nc := range conns {
+			adv := pa.adv
+			_ = nc.send(&adv)
+		}
+	}
+}
+
+// refreshLocalDestinationsLocked pins <0, 1> for every topic with local
+// subscribers and withdraws routes whose local subscribers left.
+func (b *Broker) refreshLocalDestinationsLocked() {
+	self := int32(b.cfg.ID)
+	for topic, subs := range b.localSubs {
+		if len(subs) == 0 {
+			continue
+		}
+		key := routeKey{topic: topic, sub: self}
+		rs := b.routes[key]
+		if rs == nil {
+			rs = &routeState{params: make(map[int]core.DR)}
+			b.routes[key] = rs
+		}
+		var maxDeadline time.Duration
+		for _, d := range subs {
+			if d > maxDeadline {
+				maxDeadline = d
+			}
+		}
+		rs.deadline = maxDeadline
+	}
+	// Withdraw the self-route when the last local subscriber is gone.
+	for key, rs := range b.routes {
+		if key.sub != self {
+			continue
+		}
+		if len(b.localSubs[key.topic]) == 0 {
+			rs.own = core.Unreachable()
+		}
+	}
+}
+
+// recomputeRouteLocked runs the per-node step of Algorithm 1 for one
+// (topic, subscriber) pair.
+func (b *Broker) recomputeRouteLocked(key routeKey, rs *routeState) {
+	if key.sub == int32(b.cfg.ID) && len(b.localSubs[key.topic]) > 0 {
+		// This broker is the destination: parameters are pinned.
+		rs.own = core.DR{D: 0, R: 1}
+		rs.list = nil
+		return
+	}
+	budget := rs.deadline
+	if budget <= 0 {
+		budget = b.cfg.DefaultDeadline
+	}
+	ids := make([]int, 0, len(rs.params))
+	via := make([]core.DR, 0, len(rs.params))
+	for nid, p := range rs.params {
+		if !p.Reachable() || p.D >= budget {
+			continue
+		}
+		nc, ok := b.neighbors[nid]
+		if !ok || !nc.connected() {
+			continue
+		}
+		alpha, gamma := nc.estimate()
+		link := core.LinkStats(alpha, gamma, b.cfg.M)
+		v := core.Via(link, p)
+		if !v.Reachable() {
+			continue
+		}
+		ids = append(ids, nid)
+		via = append(via, v)
+	}
+	core.SortByRatio(via, ids)
+	rs.own = core.Combine(via)
+	rs.list = ids
+}
+
+// advertNeeded reports whether a route's value moved enough to re-share.
+func advertNeeded(rs *routeState) bool {
+	if !rs.haveAdv {
+		return rs.own.Reachable() // first advert only once we have a route
+	}
+	if rs.own.Reachable() != rs.advertised.Reachable() {
+		return true
+	}
+	if !rs.own.Reachable() {
+		return false
+	}
+	dd := rs.own.D - rs.advertised.D
+	if dd < 0 {
+		dd = -dd
+	}
+	dr := rs.own.R - rs.advertised.R
+	if dr < 0 {
+		dr = -dr
+	}
+	return dd > advertTolerance || dr > 0.01
+}
+
+// sendingListLocked returns the current Theorem-1 list for a route.
+func (b *Broker) sendingListLocked(topic, sub int32) []int {
+	rs := b.routes[routeKey{topic: topic, sub: sub}]
+	if rs == nil {
+		return nil
+	}
+	return rs.list
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestOrderingPoliciesProduceExpectedLists(t *testing.T) {
+	// Node 0 has three routes to subscriber 3 with different (d, r)
+	// trade-offs; each ordering policy should rank them differently.
+	g := topology.NewGraph(4)
+	mustLink := func(u, v int, d time.Duration) {
+		t.Helper()
+		if err := g.AddLink(u, v, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(0, 3, 50*time.Millisecond)
+	mustLink(0, 1, 10*time.Millisecond)
+	mustLink(1, 3, 10*time.Millisecond)
+	mustLink(0, 2, 40*time.Millisecond)
+	mustLink(2, 3, 40*time.Millisecond)
+
+	// Per-link gammas: the direct link is very reliable, the cheap two-hop
+	// route is flaky, the expensive two-hop route is mid.
+	gamma := map[[2]int]float64{
+		{0, 3}: 0.999,
+		{0, 1}: 0.6, {1, 3}: 0.6,
+		{0, 2}: 0.9, {2, 3}: 0.9,
+	}
+	stats := func(u, v int) (time.Duration, float64, bool) {
+		d, ok := g.LinkDelay(u, v)
+		if !ok {
+			return 0, 0, false
+		}
+		a, b := topology.Canonical(u, v)
+		return d, gamma[[2]int{a, b}], true
+	}
+
+	listFor := func(ord Ordering) []int {
+		tab := BuildTable(g, stats, 3, bigBudgets(4), BuildOptions{Ordering: ord})
+		return tab.Lists[0]
+	}
+
+	// Reliability-only: most reliable via first = direct (r ~.999).
+	rel := listFor(ReliabilityOrder)
+	if len(rel) != 3 || rel[0] != 3 {
+		t.Errorf("reliability order = %v, want direct link (3) first", rel)
+	}
+	// Delay-only: cheapest via d first = via 1 (~20ms+).
+	del := listFor(DelayOrder)
+	if len(del) != 3 || del[0] != 1 {
+		t.Errorf("delay order = %v, want flaky cheap route (1) first", del)
+	}
+	// Arbitrary: neighbor-ID order.
+	arb := listFor(ArbitraryOrder)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if arb[i] != want[i] {
+			t.Fatalf("arbitrary order = %v, want %v", arb, want)
+		}
+	}
+	// Ratio order must yield the minimal expected delay of all policies.
+	best := BuildTable(g, stats, 3, bigBudgets(4), BuildOptions{Ordering: RatioOrder}).Params[0].D
+	for _, ord := range []Ordering{DelayOrder, ReliabilityOrder, ArbitraryOrder} {
+		d := BuildTable(g, stats, 3, bigBudgets(4), BuildOptions{Ordering: ord}).Params[0].D
+		if d < best {
+			t.Errorf("%v expected delay %v beats Theorem-1 %v", ord, d, best)
+		}
+	}
+}
+
+func TestOrderingUnknownString(t *testing.T) {
+	if Ordering(42).String() != "Ordering(42)" {
+		t.Errorf("got %q", Ordering(42).String())
+	}
+}
+
+func TestPersistentModeRecoversFromTotalOutage(t *testing.T) {
+	// Single link 0-1 forced down for 3 s, then restored. Without
+	// persistency the origin drops; with it, the packet is held and
+	// resent at an epoch boundary after the heal.
+	g := lineGraph(t, 10*time.Millisecond)
+	env := newEnv(t, g, cleanConfig(), 0, []int{1}, RouterOptions{
+		Persistent:  true,
+		MaxLifetime: 20 * time.Second,
+	})
+	if err := env.net.ForceDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	env.sim.At(3*time.Second, func() {
+		if err := env.net.Restore(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	env.publish(1)
+	env.sim.Run()
+	res := env.result()
+	if res.Delivered != 1 {
+		t.Fatalf("persistent mode did not deliver after heal: %+v", res)
+	}
+	if res.OnTime != 0 {
+		t.Error("a 3s-delayed packet cannot be on time")
+	}
+	if res.Latencies[0] < 3*time.Second {
+		t.Errorf("latency %v < outage duration", res.Latencies[0])
+	}
+}
+
+func TestPersistentModeStillBoundedByLifetime(t *testing.T) {
+	g := lineGraph(t, 10*time.Millisecond)
+	env := newEnv(t, g, cleanConfig(), 0, []int{1}, RouterOptions{
+		Persistent:  true,
+		MaxLifetime: 2 * time.Second,
+	})
+	if err := env.net.ForceDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	env.publish(1)
+	env.sim.Run() // must terminate despite the permanent outage
+	res := env.result()
+	if res.Delivered != 0 {
+		t.Fatalf("delivered across a permanently dead link: %+v", res)
+	}
+	if env.sim.Now() > time.Minute {
+		t.Errorf("simulation ran to %v; lifetime bound not applied", env.sim.Now())
+	}
+}
+
+func TestInstantAckShortensFailover(t *testing.T) {
+	// Same diamond as TestRouterFailsOverToSecondNeighbor, but with the
+	// paper's instant-ACK model: the failover costs only alpha + guard.
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 1, 10 * time.Millisecond}, {1, 3, 10 * time.Millisecond},
+		{0, 2, 20 * time.Millisecond}, {2, 3, 20 * time.Millisecond},
+	} {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(instant bool) time.Duration {
+		cfg := cleanConfig()
+		cfg.InstantControl = instant
+		env := newEnv(t, g, cfg, 0, []int{3}, RouterOptions{})
+		if err := env.net.ForceDown(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		env.publish(1)
+		env.sim.Run()
+		res := env.result()
+		if res.Delivered != 1 {
+			t.Fatalf("instant=%v: not delivered: %+v", instant, res)
+		}
+		return res.Latencies[0]
+	}
+	instant := run(true)
+	physical := run(false)
+	if instant >= physical {
+		t.Errorf("instant-ACK failover (%v) not faster than physical (%v)", instant, physical)
+	}
+	// Instant: 10ms timeout + 1ms guard + 40ms detour = ~51ms.
+	want := 51 * time.Millisecond
+	if instant != want {
+		t.Errorf("instant-ACK latency = %v, want %v", instant, want)
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approxDur(a, b, eps time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func TestLinkStatsSingleTransmission(t *testing.T) {
+	// m=1: alpha_1 = alpha, gamma_1 = gamma.
+	got := LinkStats(20*time.Millisecond, 0.9, 1)
+	if got.D != 20*time.Millisecond {
+		t.Errorf("D = %v, want 20ms", got.D)
+	}
+	if math.Abs(got.R-0.9) > 1e-12 {
+		t.Errorf("R = %v, want 0.9", got.R)
+	}
+}
+
+func TestLinkStatsTwoTransmissions(t *testing.T) {
+	// Eq. (1) with alpha=10ms, gamma=0.5, m=2:
+	// gamma_2 = 1 - 0.25 = 0.75
+	// alpha_2 = (1*10*0.5 + 2*10*0.5*0.5) / 0.75 = (5 + 5) / 0.75 = 13.333ms
+	got := LinkStats(10*time.Millisecond, 0.5, 2)
+	if math.Abs(got.R-0.75) > 1e-12 {
+		t.Errorf("R = %v, want 0.75", got.R)
+	}
+	alpha := 10 * time.Millisecond
+	want := time.Duration(float64(alpha) * 10 / 7.5)
+	if !approxDur(got.D, want, time.Microsecond) {
+		t.Errorf("D = %v, want %v", got.D, want)
+	}
+}
+
+func TestLinkStatsEdgeCases(t *testing.T) {
+	if got := LinkStats(time.Millisecond, 0, 3); got.Reachable() {
+		t.Errorf("gamma=0 should be unreachable, got %+v", got)
+	}
+	// Perfect link: any m gives <alpha, 1>.
+	got := LinkStats(time.Millisecond, 1, 5)
+	if got.D != time.Millisecond || got.R != 1 {
+		t.Errorf("perfect link = %+v", got)
+	}
+	// m < 1 clamps to 1.
+	a := LinkStats(time.Millisecond, 0.7, 0)
+	b := LinkStats(time.Millisecond, 0.7, 1)
+	if a != b {
+		t.Errorf("m=0 (%+v) != m=1 (%+v)", a, b)
+	}
+	// gamma > 1 clamps.
+	c := LinkStats(time.Millisecond, 1.5, 1)
+	if c.R != 1 {
+		t.Errorf("gamma>1 clamp: %+v", c)
+	}
+}
+
+func TestLinkStatsMonotoneInM(t *testing.T) {
+	// More transmissions: higher delivery ratio, higher conditional delay.
+	prev := LinkStats(10*time.Millisecond, 0.6, 1)
+	for m := 2; m <= 6; m++ {
+		cur := LinkStats(10*time.Millisecond, 0.6, m)
+		if cur.R <= prev.R {
+			t.Errorf("gamma_m not increasing at m=%d: %v <= %v", m, cur.R, prev.R)
+		}
+		if cur.D < prev.D {
+			t.Errorf("alpha_m decreasing at m=%d: %v < %v", m, cur.D, prev.D)
+		}
+		prev = cur
+	}
+}
+
+func TestVia(t *testing.T) {
+	link := DR{D: 10 * time.Millisecond, R: 0.9}
+	neighbor := DR{D: 30 * time.Millisecond, R: 0.8}
+	got := Via(link, neighbor)
+	if got.D != 40*time.Millisecond {
+		t.Errorf("D = %v, want 40ms", got.D)
+	}
+	if math.Abs(got.R-0.72) > 1e-12 {
+		t.Errorf("R = %v, want 0.72", got.R)
+	}
+	if Via(Unreachable(), neighbor).Reachable() {
+		t.Error("via unreachable link should be unreachable")
+	}
+	if Via(link, Unreachable()).Reachable() {
+		t.Error("via unreachable neighbor should be unreachable")
+	}
+}
+
+func TestCombineSingleEntry(t *testing.T) {
+	e := DR{D: 25 * time.Millisecond, R: 0.6}
+	got := Combine([]DR{e})
+	// d_X = d1*r1/r1 = d1; r_X = r1.
+	if got.D != e.D || math.Abs(got.R-e.R) > 1e-12 {
+		t.Errorf("Combine single = %+v, want %+v", got, e)
+	}
+}
+
+func TestCombineTwoEntriesHandComputed(t *testing.T) {
+	// Entries <10ms, 0.5> then <20ms, 0.5>:
+	// r_X = 1 - 0.5*0.5 = 0.75
+	// num = 10*0.5 + (10+20)*0.5*0.5 = 5 + 7.5 = 12.5 (ms)
+	// d_X = 12.5/0.75 = 16.666ms
+	got := Combine([]DR{
+		{D: 10 * time.Millisecond, R: 0.5},
+		{D: 20 * time.Millisecond, R: 0.5},
+	})
+	if math.Abs(got.R-0.75) > 1e-12 {
+		t.Errorf("R = %v, want 0.75", got.R)
+	}
+	num := 12500 * time.Microsecond
+	want := time.Duration(float64(num) / 0.75)
+	if !approxDur(got.D, want, time.Microsecond) {
+		t.Errorf("D = %v, want %v", got.D, want)
+	}
+}
+
+func TestCombineEmptyAndUnreachable(t *testing.T) {
+	if Combine(nil).Reachable() {
+		t.Error("Combine(nil) should be unreachable")
+	}
+	if Combine([]DR{Unreachable(), Unreachable()}).Reachable() {
+		t.Error("Combine(all unreachable) should be unreachable")
+	}
+	// Unreachable entries are skipped transparently.
+	e := DR{D: 5 * time.Millisecond, R: 0.9}
+	got := Combine([]DR{Unreachable(), e})
+	want := Combine([]DR{e})
+	if got != want {
+		t.Errorf("unreachable entry not skipped: %+v vs %+v", got, want)
+	}
+}
+
+func TestCombinePerfectFirstNeighbor(t *testing.T) {
+	// r1 = 1 means later entries never matter.
+	got := Combine([]DR{
+		{D: 10 * time.Millisecond, R: 1},
+		{D: 1 * time.Millisecond, R: 0.9},
+	})
+	if got.D != 10*time.Millisecond || got.R != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestSortByRatio(t *testing.T) {
+	entries := []DR{
+		{D: 30 * time.Millisecond, R: 0.5}, // ratio 60ms
+		{D: 10 * time.Millisecond, R: 0.9}, // ratio 11.1ms
+		{D: 20 * time.Millisecond, R: 0.8}, // ratio 25ms
+		Unreachable(),                      // +Inf, last
+	}
+	ids := []int{0, 1, 2, 3}
+	SortByRatio(entries, ids)
+	wantIDs := []int{1, 2, 0, 3}
+	for i := range wantIDs {
+		if ids[i] != wantIDs[i] {
+			t.Fatalf("ids = %v, want %v", ids, wantIDs)
+		}
+	}
+}
+
+func TestSortByRatioTieBreaksOnID(t *testing.T) {
+	entries := []DR{
+		{D: 10 * time.Millisecond, R: 0.5},
+		{D: 20 * time.Millisecond, R: 1.0}, // same ratio 20ms
+	}
+	ids := []int{7, 3}
+	SortByRatio(entries, ids)
+	if ids[0] != 3 || ids[1] != 7 {
+		t.Errorf("tie-break ids = %v, want [3 7]", ids)
+	}
+}
+
+// permutations generates all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	for _, p := range permutations(n - 1) {
+		for i := 0; i <= len(p); i++ {
+			q := make([]int, 0, n)
+			q = append(q, p[:i]...)
+			q = append(q, n-1)
+			q = append(q, p[i:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// TestTheorem1OptimalityBruteForce verifies the paper's Theorem 1: the d/r
+// ascending order minimizes Combine's expected delay over every permutation,
+// for randomized inputs.
+func TestTheorem1OptimalityBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.IntN(4) // 2..5 entries
+		entries := make([]DR, n)
+		for i := range entries {
+			entries[i] = DR{
+				D: time.Duration(1+rng.IntN(100)) * time.Millisecond,
+				R: 0.05 + 0.95*rng.Float64(),
+			}
+		}
+		sorted := append([]DR(nil), entries...)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		SortByRatio(sorted, ids)
+		best := Combine(sorted)
+
+		for _, perm := range permutations(n) {
+			candidate := make([]DR, n)
+			for i, idx := range perm {
+				candidate[i] = entries[idx]
+			}
+			alt := Combine(candidate)
+			if alt.D < best.D-time.Nanosecond {
+				t.Fatalf("trial %d: permutation %v has d=%v < sorted d=%v (entries %+v)",
+					trial, perm, alt.D, best.D, entries)
+			}
+			// Theorem 1 also implies r is order-independent.
+			if math.Abs(alt.R-best.R) > 1e-9 {
+				t.Fatalf("trial %d: delivery ratio changed with order: %v vs %v", trial, alt.R, best.R)
+			}
+		}
+	}
+}
+
+// Property (Eq. 3 invariants): r_X = 1 - prod(1-r_i), and d_X lies within
+// [min d_i, sum d_i].
+func TestCombineInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%6
+		rng := rand.New(rand.NewPCG(seed, 3))
+		entries := make([]DR, n)
+		probRem := 1.0
+		minD := time.Duration(math.MaxInt64)
+		for i := range entries {
+			entries[i] = DR{
+				D: time.Duration(1+rng.IntN(1000)) * time.Millisecond,
+				R: 0.01 + 0.99*rng.Float64(),
+			}
+			probRem *= 1 - entries[i].R
+			if entries[i].D < minD {
+				minD = entries[i].D
+			}
+		}
+		// The worst case is delivery via the last neighbor after trying all:
+		// prefix sum of all d_i.
+		var prefixAll time.Duration
+		for _, e := range entries {
+			prefixAll += e.D
+		}
+		got := Combine(entries)
+		if math.Abs(got.R-(1-probRem)) > 1e-9 {
+			return false
+		}
+		return got.D >= minD-time.Nanosecond && got.D <= prefixAll+time.Nanosecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LinkStats(alpha, gamma, m) delivery ratio equals 1-(1-gamma)^m
+// and conditional delay is within [alpha, m*alpha].
+func TestLinkStatsProperty(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := 1 + int(mRaw)%5
+		rng := rand.New(rand.NewPCG(seed, 5))
+		alpha := time.Duration(1+rng.IntN(50)) * time.Millisecond
+		gamma := 0.01 + 0.99*rng.Float64()
+		got := LinkStats(alpha, gamma, m)
+		wantR := 1 - math.Pow(1-gamma, float64(m))
+		if math.Abs(got.R-wantR) > 1e-9 {
+			return false
+		}
+		return got.D >= alpha-time.Nanosecond && got.D <= time.Duration(m)*alpha+time.Nanosecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	p := DR{D: 20 * time.Millisecond, R: 0.5}
+	want := float64(20*time.Millisecond) / 0.5
+	if p.Ratio() != want {
+		t.Errorf("Ratio = %v, want %v", p.Ratio(), want)
+	}
+	if !math.IsInf(Unreachable().Ratio(), 1) {
+		t.Error("unreachable ratio should be +Inf")
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/trace"
+)
+
+// RouterOptions tunes the Algorithm-2 forwarding scheme.
+type RouterOptions struct {
+	// M is the number of transmissions per neighbor before switching to the
+	// next sending-list entry (the paper's m; default 1).
+	M int
+	// AckGuard is added on top of the network's ACK wait (alpha under the
+	// paper's instant-control model, 2*alpha otherwise) when arming the
+	// ACK timer. Default 1 ms.
+	AckGuard time.Duration
+	// MaxLifetime bounds how long a packet may stay in flight before the
+	// router gives up (covers persistent partitions, which the paper
+	// delegates to its out-of-scope persistency mode). Default 30 s.
+	MaxLifetime time.Duration
+	// Persistent enables the paper's §III persistency mode: when the
+	// origin exhausts every neighbor, the packet is held and resent from
+	// scratch at the next failure-epoch boundary (when link states can
+	// change) instead of being dropped, until MaxLifetime. This provides
+	// the delivery guarantee even across windows where no live path
+	// exists, at the cost of buffering and late deliveries.
+	Persistent bool
+	// Build tunes the Algorithm-1 table fixpoint.
+	Build BuildOptions
+	// Tracer, when non-nil, receives a per-packet routing timeline
+	// (sends, ACK handoffs, timeouts, failovers, reroutes, deliveries).
+	Tracer trace.Recorder
+}
+
+// withDefaults fills unset options.
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.M < 1 {
+		o.M = 1
+	}
+	if o.AckGuard <= 0 {
+		o.AckGuard = time.Millisecond
+	}
+	if o.MaxLifetime <= 0 {
+		o.MaxLifetime = 30 * time.Second
+	}
+	if o.Build.M == 0 {
+		o.Build.M = o.M
+	}
+	return o
+}
+
+// Router implements DCRD's dynamic routing (Algorithm 2) over a simulated
+// network: hop-by-hop ACKs, m transmissions per neighbor, switching to the
+// next Theorem-1-ordered neighbor on failure, and rerouting to the upstream
+// node when a broker exhausts its sending list. One Router instance drives
+// every broker node of the overlay.
+type Router struct {
+	net  *netsim.Network
+	work *pubsub.Workload
+	col  *metrics.Collector
+	opts RouterOptions
+	// tables[topic][subscriberNode] is the Algorithm-1 route table for that
+	// (publisher, subscriber) pair.
+	tables []map[int]*Table
+	nodes  []*nodeState
+}
+
+// dataPayload is the body of a DCRD data frame: the packet plus the
+// destinations this copy is responsible for and the recorded routing path
+// (the broker IDs that have sent this copy, in order, with duplicates when
+// a broker sent it more than once — exactly the paper's packet format).
+type dataPayload struct {
+	Pkt   pubsub.Packet
+	Dests []int
+	Path  []int
+}
+
+// ackPayload acknowledges receipt of one data frame hop-by-hop.
+type ackPayload struct {
+	FrameID uint64
+}
+
+// NewRouter builds route tables for every (publisher, subscriber) pair and
+// installs frame handlers on every node of the network.
+func NewRouter(net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, opts RouterOptions) (*Router, error) {
+	opts = opts.withDefaults()
+	g := net.Graph()
+	r := &Router{
+		net:    net,
+		work:   w,
+		col:    col,
+		opts:   opts,
+		tables: make([]map[int]*Table, len(w.Topics())),
+		nodes:  make([]*nodeState, g.N()),
+	}
+	r.Rebuild()
+	for id := 0; id < g.N(); id++ {
+		ns := &nodeState{
+			r:        r,
+			id:       id,
+			seen:     make(map[uint64]bool),
+			inflight: make(map[uint64]*flight),
+		}
+		r.nodes[id] = ns
+		r.net.SetHandler(id, ns.handleFrame)
+	}
+	return r, nil
+}
+
+// Name identifies the approach in experiment output.
+func (r *Router) Name() string { return "DCRD" }
+
+// Rebuild re-runs Algorithm 1 for every (publisher, subscriber) pair from
+// the monitoring estimates current at the simulator's clock. Call it at
+// every monitoring epoch when the network models measurement-based
+// estimates (netsim.Config.MonitorSamples > 0); with exact estimates the
+// fixpoint is time-invariant and one build at construction suffices.
+func (r *Router) Rebuild() {
+	g := r.net.Graph()
+	now := r.net.Sim().Now()
+	stats := func(u, v int) (time.Duration, float64, bool) {
+		est, ok := r.net.EstimateAt(u, v, now)
+		return est.Alpha, est.Gamma, ok
+	}
+	for _, t := range r.work.Topics() {
+		r.tables[t.ID] = make(map[int]*Table, len(t.Subscribers))
+		tree := r.work.PublisherTree(t.ID)
+		for _, s := range t.Subscribers {
+			budgets := BudgetsFromTree(tree, s.Deadline)
+			r.tables[t.ID][s.Node] = BuildTable(g, stats, s.Node, budgets, r.opts.Build)
+		}
+	}
+}
+
+// Table exposes the route table for a (topic, subscriber) pair, mainly for
+// tests and diagnostics.
+func (r *Router) Table(topic, sub int) *Table { return r.tables[topic][sub] }
+
+// record emits a trace event when tracing is enabled.
+func (r *Router) record(kind trace.Kind, pkt uint64, node, peer int, dests []int, note string) {
+	if r.opts.Tracer == nil {
+		return
+	}
+	r.opts.Tracer.Record(trace.Event{
+		At:     r.net.Sim().Now(),
+		Kind:   kind,
+		Packet: pkt,
+		Node:   node,
+		Peer:   peer,
+		Dests:  dests,
+		Note:   note,
+	})
+}
+
+// Publish injects a freshly published packet at its source broker, which
+// becomes responsible for all subscriber destinations of the topic.
+func (r *Router) Publish(pkt pubsub.Packet) {
+	r.record(trace.Publish, pkt.ID, pkt.Source, -1, r.work.Destinations(pkt.Topic), "")
+	ns := r.nodes[pkt.Source]
+	w := &work{
+		pkt:      pkt,
+		upstream: -1,
+		pending:  make(map[int]bool),
+		failed:   make(map[int]bool),
+		pathSet:  map[int]bool{pkt.Source: true},
+	}
+	for _, dest := range r.work.Destinations(pkt.Topic) {
+		if dest == pkt.Source {
+			r.col.Deliver(pkt.ID, dest, r.net.Sim().Now())
+			continue
+		}
+		w.pending[dest] = true
+	}
+	ns.process(w)
+}
+
+// nodeState is one broker's Algorithm-2 state: deduplication of received
+// frames and the set of sent-but-unacknowledged groups. Per the paper, no
+// per-packet routing state survives once the downstream ACK arrives.
+type nodeState struct {
+	r        *Router
+	id       int
+	seen     map[uint64]bool
+	inflight map[uint64]*flight
+}
+
+// work tracks one received copy of a packet at one broker: the destinations
+// still unresolved here, the neighbors that already timed out for this copy,
+// and the routing path the copy arrived with.
+type work struct {
+	pkt      pubsub.Packet
+	path     []int // routing path as received (before appending self)
+	pathSet  map[int]bool
+	upstream int // -1 when this broker is the origin
+	pending  map[int]bool
+	failed   map[int]bool
+}
+
+// flight is one sent group awaiting its hop-by-hop ACK.
+type flight struct {
+	frameID    uint64
+	to         int
+	dests      []int
+	w          *work
+	attempts   int
+	timer      *des.Event
+	toUpstream bool
+	payload    dataPayload
+	timeout    time.Duration
+}
+
+// handleFrame dispatches network frames to the ACK or data paths.
+func (ns *nodeState) handleFrame(f netsim.Frame) {
+	switch p := f.Payload.(type) {
+	case ackPayload:
+		ns.handleAck(p)
+	case dataPayload:
+		ns.handleData(f, p)
+	default:
+		panic(fmt.Sprintf("core: node %d received unknown payload %T", ns.id, f.Payload))
+	}
+}
+
+// handleAck resolves the in-flight group: the downstream neighbor took
+// responsibility for the group's destinations, so this broker aggressively
+// forgets them (§III: "each node aggressively deletes a copy of packet once
+// it receives an ACK from its downstream neighbor").
+func (ns *nodeState) handleAck(p ackPayload) {
+	fl, ok := ns.inflight[p.FrameID]
+	if !ok {
+		return // duplicate or stale ACK
+	}
+	fl.timer.Cancel()
+	delete(ns.inflight, p.FrameID)
+	ns.r.record(trace.Handoff, fl.w.pkt.ID, ns.id, fl.to, fl.dests, "")
+}
+
+// handleData implements Algorithm 2 lines 1–6: ACK the sender immediately,
+// deliver to local subscribers, then start processing the remaining
+// destinations.
+func (ns *nodeState) handleData(f netsim.Frame, p dataPayload) {
+	// Line 2: send ACK to the sender (hop-by-hop, lossy like any frame).
+	_ = ns.r.net.Send(netsim.Frame{
+		ID:      ns.r.net.NextFrameID(),
+		From:    ns.id,
+		To:      f.From,
+		Kind:    netsim.Control,
+		Payload: ackPayload{FrameID: f.ID},
+	})
+	if ns.seen[f.ID] {
+		return // retransmission of an already-processed frame
+	}
+	ns.seen[f.ID] = true
+
+	w := &work{
+		pkt:      p.Pkt,
+		path:     append([]int(nil), p.Path...),
+		upstream: upstreamOf(ns.id, p.Path),
+		pending:  make(map[int]bool),
+		failed:   make(map[int]bool),
+		pathSet:  make(map[int]bool, len(p.Path)+1),
+	}
+	for _, b := range p.Path {
+		w.pathSet[b] = true
+	}
+	w.pathSet[ns.id] = true
+	now := ns.r.net.Sim().Now()
+	for _, dest := range p.Dests {
+		if dest == ns.id {
+			ns.r.col.Deliver(p.Pkt.ID, dest, now)
+			ns.r.record(trace.Deliver, p.Pkt.ID, ns.id, f.From, nil, "")
+			continue
+		}
+		w.pending[dest] = true
+	}
+	ns.process(w)
+}
+
+// upstreamOf finds the upstream broker of node in a routing path: the entry
+// immediately before node's first appearance, or — when node never appears
+// (a fresh arrival) — the last sender on the path. Returns -1 when no
+// upstream exists (node is the origin).
+func upstreamOf(node int, path []int) int {
+	for i, b := range path {
+		if b == node {
+			if i == 0 {
+				return -1
+			}
+			return path[i-1]
+		}
+	}
+	if len(path) == 0 {
+		return -1
+	}
+	return path[len(path)-1]
+}
+
+// process implements Algorithm 2 lines 7–29 event-dependently: every pending
+// destination is assigned to the first eligible sending-list neighbor,
+// destinations sharing a next hop are grouped into one frame, and
+// destinations whose list is exhausted are rerouted to the upstream broker
+// (or dropped at the origin).
+func (ns *nodeState) process(w *work) {
+	now := ns.r.net.Sim().Now()
+	if now-w.pkt.PublishedAt > ns.r.opts.MaxLifetime {
+		expired := sortedKeys(w.pending)
+		for _, dest := range expired {
+			ns.r.col.Drop(w.pkt.ID, dest)
+			delete(w.pending, dest)
+		}
+		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, expired, "lifetime exceeded")
+		return
+	}
+	groups := make(map[int][]int)
+	var exhausted []int
+	for _, dest := range sortedKeys(w.pending) {
+		k := ns.nextHop(w, dest)
+		if k < 0 {
+			exhausted = append(exhausted, dest)
+		} else {
+			groups[k] = append(groups[k], dest)
+		}
+	}
+	for _, k := range sortedGroupKeys(groups) {
+		ns.sendGroup(w, k, groups[k], false)
+	}
+	if len(exhausted) == 0 {
+		return
+	}
+	if w.upstream < 0 {
+		if ns.r.opts.Persistent {
+			ns.r.record(trace.Hold, w.pkt.ID, ns.id, -1, exhausted, "persistency: retry next epoch")
+			// Persistency mode (§III): hold the packet at the origin and
+			// resend once network conditions can have changed, with a
+			// clean slate (fresh path and failed set).
+			retry := &work{
+				pkt:      w.pkt,
+				upstream: -1,
+				pending:  make(map[int]bool, len(exhausted)),
+				failed:   make(map[int]bool),
+				pathSet:  map[int]bool{ns.id: true},
+			}
+			for _, dest := range exhausted {
+				delete(w.pending, dest)
+				retry.pending[dest] = true
+			}
+			wait := ns.r.net.NextEpochBoundary(now) - now
+			ns.r.net.Sim().After(wait, func() { ns.process(retry) })
+			return
+		}
+		// The origin exhausted every neighbor: no usable path now.
+		for _, dest := range exhausted {
+			delete(w.pending, dest)
+			ns.r.col.Drop(w.pkt.ID, dest)
+		}
+		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, exhausted, "origin exhausted sending list")
+		return
+	}
+	ns.r.record(trace.Reroute, w.pkt.ID, ns.id, w.upstream, exhausted, "sending list exhausted")
+	ns.sendGroup(w, w.upstream, exhausted, true)
+}
+
+// nextHop returns the first sending-list neighbor for dest that is neither
+// on the routing path nor already timed out for this copy, or -1.
+func (ns *nodeState) nextHop(w *work, dest int) int {
+	table, ok := ns.r.tables[w.pkt.Topic][dest]
+	if !ok {
+		return -1
+	}
+	for _, k := range table.List(ns.id) {
+		if w.pathSet[k] || w.failed[k] {
+			continue
+		}
+		return k
+	}
+	return -1
+}
+
+// sendGroup transmits one group to neighbor k (Algorithm 2 lines 13–22):
+// the broker appends itself to the routing path, sends a single frame
+// covering all destinations whose next hop is k, caches the packet and arms
+// an ACK timer scaled to the link's round trip.
+func (ns *nodeState) sendGroup(w *work, k int, dests []int, toUpstream bool) {
+	for _, dest := range dests {
+		delete(w.pending, dest)
+	}
+	w.path = append(w.path, ns.id) // line 20: add X to the routing path
+	payload := dataPayload{
+		Pkt:   w.pkt,
+		Dests: append([]int(nil), dests...),
+		Path:  append([]int(nil), w.path...),
+	}
+	wait, ok := ns.r.net.AckWait(ns.id, k)
+	if !ok {
+		// The table or path information referenced a non-link; mark the
+		// neighbor failed and retry via the event loop rather than crash.
+		w.failed[k] = true
+		for _, dest := range dests {
+			w.pending[dest] = true
+		}
+		ns.r.net.Sim().After(0, func() { ns.process(w) })
+		return
+	}
+	fl := &flight{
+		frameID:    ns.r.net.NextFrameID(),
+		to:         k,
+		dests:      payload.Dests,
+		w:          w,
+		toUpstream: toUpstream,
+		payload:    payload,
+		timeout:    wait + ns.r.opts.AckGuard,
+	}
+	ns.inflight[fl.frameID] = fl
+	ns.transmit(fl)
+}
+
+// transmit performs one transmission attempt and arms the ACK timer.
+func (ns *nodeState) transmit(fl *flight) {
+	fl.attempts++
+	note := fmt.Sprintf("attempt %d", fl.attempts)
+	if fl.toUpstream {
+		note += " (upstream)"
+	}
+	ns.r.record(trace.Send, fl.w.pkt.ID, ns.id, fl.to, fl.dests, note)
+	_ = ns.r.net.Send(netsim.Frame{
+		ID:      fl.frameID,
+		From:    ns.id,
+		To:      fl.to,
+		Kind:    netsim.Data,
+		Payload: fl.payload,
+	})
+	fl.timer = ns.r.net.Sim().After(fl.timeout, func() { ns.ackTimeout(fl) })
+}
+
+// ackTimeout fires when no ACK arrived in time: retransmit while attempts
+// remain (m per neighbor; unbounded toward the upstream, since the upstream
+// is the only remaining route), otherwise declare the neighbor failed for
+// this copy and re-process the group's destinations.
+func (ns *nodeState) ackTimeout(fl *flight) {
+	if _, live := ns.inflight[fl.frameID]; !live {
+		return // resolved concurrently
+	}
+	now := ns.r.net.Sim().Now()
+	ns.r.record(trace.Timeout, fl.w.pkt.ID, ns.id, fl.to, fl.dests, "")
+	expired := now-fl.w.pkt.PublishedAt > ns.r.opts.MaxLifetime
+	if !expired && (fl.toUpstream || fl.attempts < ns.r.opts.M) {
+		ns.transmit(fl)
+		return
+	}
+	delete(ns.inflight, fl.frameID)
+	if expired {
+		for _, dest := range fl.dests {
+			ns.r.col.Drop(fl.w.pkt.ID, dest)
+		}
+		ns.r.record(trace.Drop, fl.w.pkt.ID, ns.id, fl.to, fl.dests, "lifetime exceeded")
+		return
+	}
+	ns.r.record(trace.Failover, fl.w.pkt.ID, ns.id, fl.to, fl.dests,
+		fmt.Sprintf("no ACK after %d transmission(s)", fl.attempts))
+	fl.w.failed[fl.to] = true
+	for _, dest := range fl.dests {
+		fl.w.pending[dest] = true
+	}
+	ns.process(fl.w)
+}
+
+// sortedKeys returns map keys in ascending order for deterministic
+// event scheduling.
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedGroupKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// LinkStatsFunc reports the monitored single-transmission <alpha, gamma>
+// estimate for overlay link (u,v). ok is false when no such link exists.
+type LinkStatsFunc func(u, v int) (alpha time.Duration, gamma float64, ok bool)
+
+// Table holds, for one (publisher, subscriber) pair, every node's sending
+// list (Theorem-1 ordered eligible neighbors) and its <d, r> parameters.
+//
+// Sending lists are per pair rather than per subscriber because Algorithm 1
+// admits a neighbor only when its expected delay fits the node's residual
+// delay budget D_XS = D_PS − SP(P, X), which depends on the publisher.
+type Table struct {
+	Subscriber int
+	// Params[x] is node x's <d_x, r_x> from Eq. (3).
+	Params []DR
+	// Lists[x] is node x's ordered sending list toward the subscriber.
+	Lists [][]int
+	// Budget[x] is D_XS, the residual delay requirement at node x.
+	// Negative budgets mean the node cannot possibly meet the deadline.
+	Budget []time.Duration
+	// Rounds is how many synchronous recomputation rounds the distributed
+	// fixpoint took to stabilize.
+	Rounds int
+}
+
+// Ordering selects how a node sorts its sending list. RatioOrder is the
+// paper's Theorem-1 policy; the others exist for ablation: they answer
+// "how much does the proven ordering actually buy?"
+type Ordering int
+
+// Sending-list orderings.
+const (
+	// RatioOrder sorts by d/r ascending — Theorem 1, provably minimizing
+	// the expected delay. The default.
+	RatioOrder Ordering = iota
+	// DelayOrder sorts by the via-delay d ascending, ignoring reliability.
+	DelayOrder
+	// ReliabilityOrder sorts by the via-delivery-ratio r descending,
+	// ignoring delay.
+	ReliabilityOrder
+	// ArbitraryOrder keeps neighbor-ID order — no intelligence at all.
+	ArbitraryOrder
+)
+
+// String names the ordering for experiment output.
+func (o Ordering) String() string {
+	switch o {
+	case RatioOrder:
+		return "d/r (Theorem 1)"
+	case DelayOrder:
+		return "delay-only"
+	case ReliabilityOrder:
+		return "reliability-only"
+	case ArbitraryOrder:
+		return "arbitrary"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// sortList orders the parallel (via, ids) slices under the policy.
+func (o Ordering) sortList(via []DR, ids []int) {
+	switch o {
+	case DelayOrder:
+		sort.Stable(byKey{entries: via, ids: ids, key: func(p DR) float64 {
+			if !p.Reachable() {
+				return math.Inf(1)
+			}
+			return float64(p.D)
+		}})
+	case ReliabilityOrder:
+		sort.Stable(byKey{entries: via, ids: ids, key: func(p DR) float64 { return -p.R }})
+	case ArbitraryOrder:
+		sort.Stable(byKey{entries: via, ids: ids, key: func(DR) float64 { return 0 }})
+	default:
+		SortByRatio(via, ids)
+	}
+}
+
+// byKey sorts parallel slices by a scalar key with ID tie-break.
+type byKey struct {
+	entries []DR
+	ids     []int
+	key     func(DR) float64
+}
+
+func (s byKey) Len() int { return len(s.entries) }
+
+func (s byKey) Less(i, j int) bool {
+	ki, kj := s.key(s.entries[i]), s.key(s.entries[j])
+	if ki != kj {
+		return ki < kj
+	}
+	return s.ids[i] < s.ids[j]
+}
+
+func (s byKey) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+
+// BuildOptions tunes table construction.
+type BuildOptions struct {
+	// M is the number of transmissions tried per neighbor before declaring
+	// failure (the paper's m; default 1).
+	M int
+	// MaxRounds caps the synchronous fixpoint. Zero means 2*N+10.
+	MaxRounds int
+	// Tolerance is the convergence threshold on d changes. Zero means 1 µs.
+	Tolerance time.Duration
+	// Ordering is the sending-list policy (RatioOrder unless overridden
+	// for ablation).
+	Ordering Ordering
+}
+
+// BuildTable runs Algorithm 1 to a fixpoint for one (publisher, subscriber)
+// pair: every node receives its neighbors' <d, r> parameters, admits the
+// neighbors whose expected delay fits within the node's residual budget,
+// orders them by the Theorem-1 d/r ratio, and recomputes its own <d, r> via
+// Eq. (3). The paper runs this as an asynchronous distributed protocol; a
+// synchronous Jacobi iteration reaches the same fixpoint deterministically.
+//
+// budget[x] must hold D_XS = D_PS − SP(P, x) (see Workload.PublisherTree);
+// the subscriber's own parameters are pinned at <0, 1>.
+func BuildTable(g *topology.Graph, stats LinkStatsFunc, sub int, budget []time.Duration, opts BuildOptions) *Table {
+	n := g.N()
+	if opts.M < 1 {
+		opts.M = 1
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 2*n + 10
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = time.Microsecond
+	}
+
+	// Precompute per-link m-transmission statistics once.
+	linkDR := make([]map[int]DR, n)
+	for u := 0; u < n; u++ {
+		linkDR[u] = make(map[int]DR, g.Degree(u))
+		for _, e := range g.Neighbors(u) {
+			alpha, gamma, ok := stats(u, e.To)
+			if !ok {
+				continue
+			}
+			linkDR[u][e.To] = LinkStats(alpha, gamma, opts.M)
+		}
+	}
+
+	t := &Table{
+		Subscriber: sub,
+		Params:     make([]DR, n),
+		Lists:      make([][]int, n),
+		Budget:     append([]time.Duration(nil), budget...),
+	}
+	for x := range t.Params {
+		t.Params[x] = Unreachable()
+	}
+	t.Params[sub] = DR{D: 0, R: 1}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		next := make([]DR, n)
+		lists := make([][]int, n)
+		changed := false
+		for x := 0; x < n; x++ {
+			if x == sub {
+				next[x] = DR{D: 0, R: 1}
+				continue
+			}
+			list, via := admit(g, x, t.Params, linkDR, t.Budget[x])
+			opts.Ordering.sortList(via, list)
+			next[x] = Combine(via)
+			lists[x] = list
+			if diverged(t.Params[x], next[x], opts.Tolerance) {
+				changed = true
+			}
+		}
+		t.Params = next
+		for x := range lists {
+			if x != sub {
+				t.Lists[x] = lists[x]
+			}
+		}
+		t.Rounds = round + 1
+		if !changed {
+			break
+		}
+	}
+	return t
+}
+
+// admit applies the Algorithm-1 admission filter at node x: a neighbor i
+// joins the sending list only if its own expected delay d_i is strictly
+// within x's residual budget D_XS and both the link and the neighbor are
+// reachable. It returns the admitted neighbor IDs with their Eq.-2 Via
+// parameters (unsorted).
+func admit(g *topology.Graph, x int, params []DR, linkDR []map[int]DR, budget time.Duration) (ids []int, via []DR) {
+	for _, e := range g.Neighbors(x) {
+		p := params[e.To]
+		if !p.Reachable() || p.D >= budget {
+			continue
+		}
+		link, ok := linkDR[x][e.To]
+		if !ok || !link.Reachable() {
+			continue
+		}
+		v := Via(link, p)
+		if !v.Reachable() {
+			continue
+		}
+		ids = append(ids, e.To)
+		via = append(via, v)
+	}
+	return ids, via
+}
+
+// diverged reports whether two parameter estimates differ beyond tolerance.
+func diverged(a, b DR, tol time.Duration) bool {
+	if a.Reachable() != b.Reachable() {
+		return true
+	}
+	if !a.Reachable() {
+		return false
+	}
+	dd := a.D - b.D
+	if dd < 0 {
+		dd = -dd
+	}
+	dr := a.R - b.R
+	if dr < 0 {
+		dr = -dr
+	}
+	return dd > tol || dr > 1e-9
+}
+
+// List returns node x's sending list. The slice is owned by the table.
+func (t *Table) List(x int) []int { return t.Lists[x] }
+
+// BudgetsFromTree derives per-node residual delay budgets
+// D_XS = D_PS − SP(P, x) from a shortest-delay tree rooted at the
+// publisher. Unreachable nodes get a negative budget (never admitted).
+func BudgetsFromTree(tree *topology.ShortestPathTree, deadline time.Duration) []time.Duration {
+	budgets := make([]time.Duration, len(tree.Dist))
+	for x, d := range tree.Dist {
+		if d == topology.Infinite {
+			budgets[x] = -1
+			continue
+		}
+		budgets[x] = deadline - d
+	}
+	return budgets
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func TestRouterEmitsTrace(t *testing.T) {
+	// Diamond with the fast link down: the trace must show the publish,
+	// the failed send, the timeout+failover, the detour and the delivery.
+	g2 := diamond(t)
+	buf := &trace.Buffer{}
+	env := newEnv(t, g2, cleanConfig(), 0, []int{3}, RouterOptions{Tracer: buf})
+	if err := env.net.ForceDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	env.publish(9)
+	env.sim.Run()
+
+	events := buf.ForPacket(9)
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	kinds := make(map[trace.Kind]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	for _, want := range []trace.Kind{
+		trace.Publish, trace.Send, trace.Timeout, trace.Failover, trace.Handoff, trace.Deliver,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("trace missing %v events (have %v)", want, kinds)
+		}
+	}
+	// The timeline must render without error and mention the failover.
+	var sb strings.Builder
+	if err := buf.WriteTimeline(&sb, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FAILOVER") {
+		t.Errorf("timeline missing FAILOVER:\n%s", sb.String())
+	}
+	sum := buf.Summarize()
+	if sum.Packets != 1 || sum.Failovers == 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestRouterTracerNilIsSilent(t *testing.T) {
+	// Tracing off: nothing records, nothing panics.
+	g := diamond(t)
+	env := newEnv(t, g, cleanConfig(), 0, []int{3}, RouterOptions{})
+	env.publish(1)
+	env.sim.Run()
+	if res := env.result(); res.Delivered != 1 {
+		t.Fatalf("delivery failed: %+v", res)
+	}
+}
+
+// diamond builds the standard 4-node test overlay: 0-1-3 fast, 0-2-3 slow.
+func diamond(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 1, 10 * time.Millisecond}, {1, 3, 10 * time.Millisecond},
+		{0, 2, 20 * time.Millisecond}, {2, 3, 20 * time.Millisecond},
+	} {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}

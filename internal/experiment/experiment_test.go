@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickScenario is small enough for unit tests but large enough to show the
+// paper's qualitative ordering.
+func quickScenario() Scenario {
+	s := DefaultScenario()
+	s.Duration = 20 * time.Second
+	s.Drain = 5 * time.Second
+	s.Topologies = 1
+	return s
+}
+
+func TestApproachStrings(t *testing.T) {
+	want := map[Approach]string{
+		DCRD: "DCRD", RTree: "R-Tree", DTree: "D-Tree",
+		Oracle: "ORACLE", Multipath: "Multipath",
+	}
+	for a, name := range want {
+		if a.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), name)
+		}
+	}
+	if len(AllApproaches()) != 5 {
+		t.Errorf("AllApproaches = %v", AllApproaches())
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{name: "too few nodes", mutate: func(s *Scenario) { s.Nodes = 1 }},
+		{name: "degree >= nodes", mutate: func(s *Scenario) { s.Degree = 20 }},
+		{name: "negative degree", mutate: func(s *Scenario) { s.Degree = -1 }},
+		{name: "Pf > 1", mutate: func(s *Scenario) { s.Pf = 1.5 }},
+		{name: "Pl < 0", mutate: func(s *Scenario) { s.Pl = -0.1 }},
+		{name: "M < 1", mutate: func(s *Scenario) { s.M = 0 }},
+		{name: "bad factor", mutate: func(s *Scenario) { s.DeadlineFactor = 0 }},
+		{name: "no topics", mutate: func(s *Scenario) { s.Topics = 0 }},
+		{name: "zero interval", mutate: func(s *Scenario) { s.PublishInterval = 0 }},
+		{name: "zero duration", mutate: func(s *Scenario) { s.Duration = 0 }},
+		{name: "no topologies", mutate: func(s *Scenario) { s.Topologies = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := DefaultScenario()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid scenario accepted")
+			}
+		})
+	}
+	if err := DefaultScenario().Validate(); err != nil {
+		t.Errorf("default scenario rejected: %v", err)
+	}
+}
+
+func TestRunOneCleanNetworkDeliversEverything(t *testing.T) {
+	s := quickScenario()
+	s.Pf = 0
+	s.Pl = 0
+	for _, a := range AllApproaches() {
+		res, err := RunOne(s, a, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if res.Expected == 0 {
+			t.Fatalf("%v: no expectations registered", a)
+		}
+		if got := res.DeliveryRatio(); got != 1 {
+			t.Errorf("%v: delivery ratio = %v on a clean network, want 1", a, got)
+		}
+		if got := res.QoSDeliveryRatio(); got != 1 {
+			t.Errorf("%v: QoS ratio = %v on a clean network, want 1", a, got)
+		}
+	}
+}
+
+func TestRunOneDeterministic(t *testing.T) {
+	s := quickScenario()
+	s.Pf = 0.06
+	a, err := RunOne(s, DCRD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne(s, DCRD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.OnTime != b.OnTime || a.DataTransmissions != b.DataTransmissions {
+		t.Errorf("identical runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunPairsApproachesOnSameConditions(t *testing.T) {
+	// The same (seed, topology) cell must register identical expectations
+	// for every approach — same workload, same subscriber sets.
+	s := quickScenario()
+	s.Pf = 0.04
+	var expected []int
+	for _, a := range AllApproaches() {
+		res, err := RunOne(s, a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected = append(expected, res.Expected)
+	}
+	for i := 1; i < len(expected); i++ {
+		if expected[i] != expected[0] {
+			t.Errorf("expectation counts differ across approaches: %v", expected)
+		}
+	}
+}
+
+// TestPaperQualitativeOrdering asserts the paper's headline claims on a
+// small but failure-heavy run: DCRD and ORACLE deliver (essentially)
+// everything; the fixed trees lose packets; DCRD's QoS ratio beats both
+// trees; ORACLE bounds everyone; R-Tree sends the least traffic and
+// Multipath the most.
+func TestPaperQualitativeOrdering(t *testing.T) {
+	s := quickScenario()
+	s.Duration = 40 * time.Second
+	s.Pf = 0.06
+	s.Degree = 5
+	aggs, err := Run(s, AllApproaches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[Approach]Aggregate, len(aggs))
+	for _, a := range aggs {
+		byName[a.Approach] = a
+	}
+
+	if d := byName[DCRD].MeanDeliveryRatio(); d < 0.98 {
+		t.Errorf("DCRD delivery ratio = %v, want >= 0.98", d)
+	}
+	if d := byName[Oracle].MeanDeliveryRatio(); d < 0.999 {
+		t.Errorf("ORACLE delivery ratio = %v, want ~1", d)
+	}
+	for _, tree := range []Approach{RTree, DTree} {
+		if d := byName[tree].MeanDeliveryRatio(); d >= byName[DCRD].MeanDeliveryRatio() {
+			t.Errorf("%v delivery ratio %v should trail DCRD %v", tree, d, byName[DCRD].MeanDeliveryRatio())
+		}
+		if q := byName[tree].MeanQoSRatio(); q >= byName[DCRD].MeanQoSRatio() {
+			t.Errorf("%v QoS ratio %v should trail DCRD %v", tree, q, byName[DCRD].MeanQoSRatio())
+		}
+	}
+	if byName[Oracle].MeanQoSRatio() < byName[DCRD].MeanQoSRatio() {
+		t.Errorf("ORACLE QoS %v below DCRD %v", byName[Oracle].MeanQoSRatio(), byName[DCRD].MeanQoSRatio())
+	}
+	// Traffic ordering: R-Tree <= D-Tree-ish < Multipath; DCRD < Multipath.
+	if byName[RTree].MeanPacketsPerSubscriber() > byName[Multipath].MeanPacketsPerSubscriber() {
+		t.Error("R-Tree sent more traffic than Multipath")
+	}
+	if byName[DCRD].MeanPacketsPerSubscriber() >= byName[Multipath].MeanPacketsPerSubscriber() {
+		t.Errorf("DCRD traffic %v should stay below Multipath %v",
+			byName[DCRD].MeanPacketsPerSubscriber(), byName[Multipath].MeanPacketsPerSubscriber())
+	}
+}
+
+func TestFigureTableFormat(t *testing.T) {
+	tab := FigureTable{
+		Title:  "Figure X",
+		XLabel: "Pf",
+		Xs:     []float64{0, 0.1},
+		Series: []Series{
+			{Label: "DCRD", Values: []float64{1, 0.97}},
+			{Label: "R-Tree", Values: []float64{1}},
+		},
+	}
+	var sb strings.Builder
+	if err := tab.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure X", "DCRD", "R-Tree", "0.9700", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureOptionsApply(t *testing.T) {
+	s := DefaultScenario()
+	got, err := FigureOptions{Duration: "90s", Topologies: 3, Seed: 7}.apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != 90*time.Second || got.Topologies != 3 || got.Seed != 7 {
+		t.Errorf("apply result = %+v", got)
+	}
+	if _, err := (FigureOptions{Duration: "bogus"}).apply(s); err == nil {
+		t.Error("bogus duration accepted")
+	}
+	if _, err := (FigureOptions{Duration: "-5s"}).apply(s); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestFiguresRegistryComplete(t *testing.T) {
+	figs := Figures()
+	for n := 2; n <= 8; n++ {
+		if figs[n] == nil {
+			t.Errorf("figure %d missing from registry", n)
+		}
+	}
+}
+
+// TestFigure6ShapeTinyRun checks the Fig. 6 mechanism on a tiny run: DCRD's
+// QoS ratio must not decrease as the deadline loosens.
+func TestFigure6ShapeTinyRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	base := quickScenario()
+	base.Pf = 0.06
+	base.Degree = 8
+	prev := -1.0
+	for _, factor := range []float64{1.5, 3, 6} {
+		s := base
+		s.DeadlineFactor = factor
+		res, err := RunOne(s, DCRD, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := res.QoSDeliveryRatio()
+		if q+0.03 < prev { // small tolerance for stochastic jitter
+			t.Errorf("QoS ratio decreased as deadline loosened: factor %v -> %v (prev %v)", factor, q, prev)
+		}
+		prev = q
+	}
+}

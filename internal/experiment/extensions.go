@@ -1,0 +1,270 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file implements experiments beyond the paper's published evaluation:
+// the sending-list ordering ablation (quantifying what Theorem 1 buys over
+// naive orderings), the node-failure extension the paper lists as future
+// work (§V), and the persistency-mode ablation sketched in §III.
+
+// AblationOrdering compares DCRD's QoS delivery ratio under the four
+// sending-list orderings across the Fig. 2/3-style failure sweep on a
+// degree-5 overlay. The Theorem-1 d/r order should dominate, with
+// delay-only close behind at low Pf and reliability-only overly
+// conservative.
+func AblationOrdering(opts FigureOptions) ([]FigureTable, error) {
+	base := DefaultScenario()
+	base.Degree = 5
+	base, err := opts.apply(base)
+	if err != nil {
+		return nil, err
+	}
+	orderings := []core.Ordering{
+		core.RatioOrder, core.DelayOrder, core.ReliabilityOrder, core.ArbitraryOrder,
+	}
+	xs := failureProbabilities()
+	qos := FigureTable{
+		Title:  "Ablation: DCRD QoS Delivery Ratio by sending-list ordering (degree 5)",
+		XLabel: "Failure Prob",
+		Xs:     xs,
+	}
+	delay := FigureTable{
+		Title:  "Ablation: DCRD mean delivery latency by sending-list ordering (degree 5, ms)",
+		XLabel: "Failure Prob",
+		Xs:     xs,
+	}
+	for _, ord := range orderings {
+		qs := Series{Label: ord.String()}
+		ds := Series{Label: ord.String()}
+		for _, pf := range xs {
+			s := base
+			s.Pf = pf
+			s.Ordering = ord
+			aggs, err := Run(s, []Approach{DCRD})
+			if err != nil {
+				return nil, err
+			}
+			qs.Values = append(qs.Values, aggs[0].MeanQoSRatio())
+			ds.Values = append(ds.Values, meanLatencyMillis(aggs[0]))
+		}
+		qos.Series = append(qos.Series, qs)
+		delay.Series = append(delay.Series, ds)
+	}
+	return []FigureTable{qos, delay}, nil
+}
+
+// meanLatencyMillis averages delivered-packet latency across runs, in ms.
+func meanLatencyMillis(a Aggregate) float64 {
+	var sum float64
+	var n int
+	for _, r := range a.Runs {
+		for _, l := range r.Latencies {
+			sum += float64(l) / 1e6
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ExtensionNodeFailures evaluates all five approaches under the
+// node-failure process the paper defers to future work: each epoch every
+// broker fails for that epoch w.p. Pn, taking all its links down at once
+// (correlated link failures and temporarily unreachable destinations).
+func ExtensionNodeFailures(opts FigureOptions) ([]FigureTable, error) {
+	base := DefaultScenario()
+	base.Degree = 8
+	base, err := opts.apply(base)
+	if err != nil {
+		return nil, err
+	}
+	pns := []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
+	byX := make([][]Aggregate, 0, len(pns))
+	for _, pn := range pns {
+		s := base
+		s.NodeFailureProb = pn
+		aggs, err := Run(s, AllApproaches())
+		if err != nil {
+			return nil, err
+		}
+		byX = append(byX, aggs)
+	}
+	return threeMetricTables("X1", "Node Failures (degree 8, future-work extension)",
+		"Node Fail Prob", pns, byX), nil
+}
+
+// ExtensionPersistency compares DCRD with and without the §III persistency
+// mode on a sparse (degree-3) overlay under heavy link failures — the
+// regime where whole neighborhoods go dark and the non-persistent router
+// must drop at the origin.
+func ExtensionPersistency(opts FigureOptions) ([]FigureTable, error) {
+	base := DefaultScenario()
+	base.Degree = 3
+	base, err := opts.apply(base)
+	if err != nil {
+		return nil, err
+	}
+	xs := []float64{0.05, 0.1, 0.15, 0.2}
+	deliv := FigureTable{
+		Title:  "Extension: DCRD Delivery Ratio with and without persistency mode (degree 3)",
+		XLabel: "Failure Prob",
+		Xs:     xs,
+	}
+	qos := FigureTable{
+		Title:  "Extension: DCRD QoS Delivery Ratio with and without persistency mode (degree 3)",
+		XLabel: "Failure Prob",
+		Xs:     xs,
+	}
+	for _, persistent := range []bool{false, true} {
+		label := "drop at origin"
+		if persistent {
+			label = "persistency mode"
+		}
+		dsSeries := Series{Label: label}
+		qsSeries := Series{Label: label}
+		for _, pf := range xs {
+			s := base
+			s.Pf = pf
+			s.Persistent = persistent
+			aggs, err := Run(s, []Approach{DCRD})
+			if err != nil {
+				return nil, err
+			}
+			dsSeries.Values = append(dsSeries.Values, aggs[0].MeanDeliveryRatio())
+			qsSeries.Values = append(qsSeries.Values, aggs[0].MeanQoSRatio())
+		}
+		deliv.Series = append(deliv.Series, dsSeries)
+		qos.Series = append(qos.Series, qsSeries)
+	}
+	return []FigureTable{deliv, qos}, nil
+}
+
+// ExtensionCongestion evaluates the "highly congested link" scenario the
+// paper's introduction motivates DCRD with but never evaluates: no link
+// failures at all, a 20x publish rate, and per-link bandwidth swept from
+// ample to scarce with a short transmit queue. Congested links delay (or
+// tail-drop) frames; DCRD's ACK timeouts read that as failure and route
+// around hot links, while the trees keep feeding them.
+func ExtensionCongestion(opts FigureOptions) ([]FigureTable, error) {
+	base := DefaultScenario()
+	base.Degree = 5
+	base.Pf = 0
+	base.PublishInterval = 100 * time.Millisecond // 10 pkt/s per topic
+	base.QueueCapacity = 32
+	// A tight retry bound: under saturation, timeout-driven duplication
+	// otherwise snowballs (congestion collapse — see EXPERIMENTS.md).
+	base.MaxLifetime = 2 * time.Second
+	base, err := opts.apply(base)
+	if err != nil {
+		return nil, err
+	}
+	bandwidths := []float64{200, 100, 50, 25}
+	byX := make([][]Aggregate, 0, len(bandwidths))
+	for _, bw := range bandwidths {
+		s := base
+		s.LinkBandwidth = bw
+		aggs, err := Run(s, AllApproaches())
+		if err != nil {
+			return nil, err
+		}
+		byX = append(byX, aggs)
+	}
+	return threeMetricTables("X2", "Congestion (degree 5, 10 pkt/s per topic, queue 32, Pf = 0)",
+		"Link BW (fps)", bandwidths, byX), nil
+}
+
+// ExtensionMonitoring measures DCRD's sensitivity to monitoring quality:
+// link delivery-ratio estimates become the success fraction of N probes per
+// 1-minute monitoring window (fewer probes = noisier sending-list
+// ordering), with route tables rebuilt each window. The paper assumes
+// monitoring exists but never quantifies how good it must be.
+func ExtensionMonitoring(opts FigureOptions) ([]FigureTable, error) {
+	base := DefaultScenario()
+	base.Degree = 8
+	base.Pf = 0.06
+	base.MonitorInterval = time.Minute
+	base, err := opts.apply(base)
+	if err != nil {
+		return nil, err
+	}
+	samples := []int{0, 200, 50, 10, 3}
+	qos := FigureTable{
+		Title:  "Extension: DCRD QoS Delivery Ratio vs monitoring quality (degree 8, Pf = 0.06, 1 min windows)",
+		XLabel: "Probes/window",
+		Series: []Series{{Label: "DCRD"}},
+	}
+	traffic := FigureTable{
+		Title:  "Extension: DCRD Packets/Subscriber vs monitoring quality",
+		XLabel: "Probes/window",
+		Series: []Series{{Label: "DCRD"}},
+	}
+	for _, n := range samples {
+		x := float64(n)
+		if n == 0 {
+			x = 1e6 // exact estimates plotted as "infinite probes"
+		}
+		qos.Xs = append(qos.Xs, x)
+		traffic.Xs = append(traffic.Xs, x)
+		s := base
+		s.MonitorSamples = n
+		aggs, err := Run(s, []Approach{DCRD})
+		if err != nil {
+			return nil, err
+		}
+		qos.Series[0].Values = append(qos.Series[0].Values, aggs[0].MeanQoSRatio())
+		traffic.Series[0].Values = append(traffic.Series[0].Values, aggs[0].MeanPacketsPerSubscriber())
+	}
+	return []FigureTable{qos, traffic}, nil
+}
+
+// ExtensionBursts evaluates correlated link outages: the stationary failure
+// probability stays at Pf = 0.06, but outages last a mean of L consecutive
+// epochs (Gilbert–Elliott) instead of exactly one. The paper's §III calls
+// multi-epoch outages "persistent failures"; this measures how much outage
+// correlation actually hurts each approach.
+func ExtensionBursts(opts FigureOptions) ([]FigureTable, error) {
+	base := DefaultScenario()
+	base.Degree = 8
+	base.Pf = 0.06
+	base, err := opts.apply(base)
+	if err != nil {
+		return nil, err
+	}
+	bursts := []float64{1, 2, 5, 10}
+	byX := make([][]Aggregate, 0, len(bursts))
+	for _, l := range bursts {
+		s := base
+		s.MeanFailureBurst = l
+		aggs, err := Run(s, AllApproaches())
+		if err != nil {
+			return nil, err
+		}
+		byX = append(byX, aggs)
+	}
+	return threeMetricTables("X3", "Failure Bursts (degree 8, Pf = 0.06, mean outage L epochs)",
+		"Mean Burst L", bursts, byX), nil
+}
+
+// Extensions maps extension/ablation names to their generators, mirroring
+// Figures for cmd/dcrdsim -extension.
+func Extensions() map[string]func(FigureOptions) ([]FigureTable, error) {
+	return map[string]func(FigureOptions) ([]FigureTable, error){
+		"ordering":    AblationOrdering,
+		"nodefail":    ExtensionNodeFailures,
+		"persistency": ExtensionPersistency,
+		"congestion":  ExtensionCongestion,
+		"monitoring":  ExtensionMonitoring,
+		"bursts":      ExtensionBursts,
+	}
+}
+
+// ExtensionNames lists the registered extension experiments.
+func ExtensionNames() []string {
+	return []string{"ordering", "nodefail", "persistency", "congestion", "monitoring", "bursts"}
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestOrderingAblationRatioWins(t *testing.T) {
+	// On a failure-heavy sparse overlay, the Theorem-1 d/r order must not
+	// lose (beyond noise) to the arbitrary order on QoS delivery ratio.
+	s := quickScenario()
+	s.Duration = 40 * time.Second
+	s.Degree = 5
+	s.Pf = 0.08
+	run := func(ord core.Ordering) float64 {
+		s := s
+		s.Ordering = ord
+		res, err := RunOne(s, DCRD, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QoSDeliveryRatio()
+	}
+	ratio := run(core.RatioOrder)
+	arbitrary := run(core.ArbitraryOrder)
+	if ratio+0.02 < arbitrary {
+		t.Errorf("Theorem-1 order (%.4f) lost to arbitrary order (%.4f)", ratio, arbitrary)
+	}
+	// Every ordering still delivers (ordering never affects r, only d).
+	for _, ord := range []core.Ordering{core.DelayOrder, core.ReliabilityOrder} {
+		if q := run(ord); q <= 0.5 {
+			t.Errorf("ordering %v collapsed to QoS ratio %v", ord, q)
+		}
+	}
+}
+
+func TestOrderingStrings(t *testing.T) {
+	for ord, want := range map[core.Ordering]string{
+		core.RatioOrder:       "d/r (Theorem 1)",
+		core.DelayOrder:       "delay-only",
+		core.ReliabilityOrder: "reliability-only",
+		core.ArbitraryOrder:   "arbitrary",
+	} {
+		if ord.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(ord), ord.String(), want)
+		}
+	}
+}
+
+func TestNodeFailureExtensionDegradesTrees(t *testing.T) {
+	s := quickScenario()
+	s.Duration = 40 * time.Second
+	s.Degree = 8
+	s.NodeFailureProb = 0.05
+	dcrd, err := RunOne(s, DCRD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtree, err := RunOne(s, DTree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcrd.DeliveryRatio() <= dtree.DeliveryRatio() {
+		t.Errorf("DCRD (%v) should beat D-Tree (%v) under node failures",
+			dcrd.DeliveryRatio(), dtree.DeliveryRatio())
+	}
+	// Destinations themselves fail ~5% of epochs, so even DCRD cannot be
+	// perfect — but it should stay high.
+	if dcrd.DeliveryRatio() < 0.85 {
+		t.Errorf("DCRD delivery ratio %v suspiciously low under Pn=0.05", dcrd.DeliveryRatio())
+	}
+}
+
+func TestPersistencyImprovesDeliveryOnSparseGraph(t *testing.T) {
+	s := quickScenario()
+	s.Duration = 60 * time.Second
+	s.Degree = 3
+	s.Pf = 0.15
+	base, err := RunOne(s, DCRD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Persistent = true
+	persist, err := RunOne(s, DCRD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persist.DeliveryRatio() < base.DeliveryRatio() {
+		t.Errorf("persistency lowered delivery ratio: %v -> %v",
+			base.DeliveryRatio(), persist.DeliveryRatio())
+	}
+	if persist.Drops > base.Drops {
+		t.Errorf("persistency increased drops: %d -> %d", base.Drops, persist.Drops)
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	ext := Extensions()
+	for _, name := range ExtensionNames() {
+		if ext[name] == nil {
+			t.Errorf("extension %q missing", name)
+		}
+	}
+	if len(ext) != len(ExtensionNames()) {
+		t.Errorf("registry (%d) and names (%d) out of sync", len(ext), len(ExtensionNames()))
+	}
+}
+
+func TestScenarioNodeFailureValidation(t *testing.T) {
+	s := DefaultScenario()
+	s.NodeFailureProb = 1.5
+	if err := s.Validate(); err == nil {
+		t.Error("NodeFailureProb > 1 accepted")
+	}
+}

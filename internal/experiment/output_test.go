@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() FigureTable {
+	return FigureTable{
+		Title:  "Sample Ratio Panel",
+		XLabel: "Pf",
+		Xs:     []float64{0, 0.05, 0.1},
+		Series: []Series{
+			{Label: "DCRD", Values: []float64{1, 0.99, 0.97}},
+			{Label: "D-Tree", Values: []float64{1, 0.9, 0.85}},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := sampleTable()
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "Pf,DCRD,D-Tree" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "0.1,0.970000,0.850000") {
+		t.Errorf("last row = %q", lines[3])
+	}
+}
+
+func TestWriteCSVRaggedSeries(t *testing.T) {
+	tab := sampleTable()
+	tab.Series[1].Values = tab.Series[1].Values[:1]
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.05,0.990000,\n") {
+		t.Errorf("missing empty cell for ragged series:\n%s", sb.String())
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tab := sampleTable()
+	out, err := tab.Chart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sample Ratio Panel", "(Pf)", "DCRD", "D-Tree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestChartEmptyTableFails(t *testing.T) {
+	tab := FigureTable{Title: "empty"}
+	if _, err := tab.Chart(); err == nil {
+		t.Error("empty table chart should fail")
+	}
+}

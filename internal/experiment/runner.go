@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/topology"
+)
+
+// Protocol is the behavior every routing approach exposes to the runner:
+// handlers are installed on the network at construction; Publish injects a
+// packet at its source broker.
+type Protocol interface {
+	Name() string
+	Publish(pkt pubsub.Packet)
+}
+
+// Aggregate collects one approach's results across topologies.
+type Aggregate struct {
+	Approach Approach
+	Runs     []metrics.Result
+}
+
+// MeanDeliveryRatio averages the delivery ratio across topologies.
+func (a Aggregate) MeanDeliveryRatio() float64 {
+	return a.mean(func(r metrics.Result) float64 { return r.DeliveryRatio() })
+}
+
+// MeanQoSRatio averages the QoS delivery ratio across topologies.
+func (a Aggregate) MeanQoSRatio() float64 {
+	return a.mean(func(r metrics.Result) float64 { return r.QoSDeliveryRatio() })
+}
+
+// MeanPacketsPerSubscriber averages the traffic metric across topologies.
+func (a Aggregate) MeanPacketsPerSubscriber() float64 {
+	return a.mean(func(r metrics.Result) float64 { return r.PacketsPerSubscriber() })
+}
+
+// LateFactors concatenates the deadline-miss factors of all runs (Fig. 7).
+func (a Aggregate) LateFactors() []float64 {
+	var all []float64
+	for _, r := range a.Runs {
+		all = append(all, r.LateFactors...)
+	}
+	return all
+}
+
+func (a Aggregate) mean(f func(metrics.Result) float64) float64 {
+	if len(a.Runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range a.Runs {
+		sum += f(r)
+	}
+	return sum / float64(len(a.Runs))
+}
+
+// Run executes the scenario for every requested approach over
+// Scenario.Topologies random topologies. Every approach sees the same
+// topologies, workloads and failure patterns, making the comparison
+// paired (as in the paper). Cells run in parallel across CPUs; each cell
+// is its own deterministic simulation, so results are independent of the
+// execution order.
+func Run(s Scenario, approaches []Approach) ([]Aggregate, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		approach int
+		topo     int
+	}
+	cells := make([]cell, 0, len(approaches)*s.Topologies)
+	for topo := 0; topo < s.Topologies; topo++ {
+		for i := range approaches {
+			cells = append(cells, cell{approach: i, topo: topo})
+		}
+	}
+	results := make([]metrics.Result, len(cells))
+	errs := make([]error, len(cells))
+
+	workers := runtime.GOMAXPROCS(0)
+	if s.Tracer != nil || workers > len(cells) {
+		// A shared tracer is not safe for concurrent use; and never spawn
+		// more workers than cells.
+		if s.Tracer != nil {
+			workers = 1
+		} else {
+			workers = len(cells)
+		}
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				c := cells[idx]
+				results[idx], errs[idx] = RunOne(s, approaches[c.approach], c.topo)
+			}
+		}()
+	}
+	for idx := range cells {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	aggs := make([]Aggregate, len(approaches))
+	for i, a := range approaches {
+		aggs[i].Approach = a
+	}
+	for idx, c := range cells {
+		if errs[idx] != nil {
+			return nil, fmt.Errorf("experiment: %v on topology %d: %w",
+				approaches[cells[idx].approach], cells[idx].topo, errs[idx])
+		}
+		aggs[c.approach].Runs = append(aggs[c.approach].Runs, results[idx])
+	}
+	return aggs, nil
+}
+
+// RunOne executes one (scenario, approach, topology index) cell and returns
+// its metrics. The topology, workload, publish schedule and failure pattern
+// are functions of (Scenario.Seed, topo) only, so every approach is
+// evaluated under identical conditions.
+func RunOne(s Scenario, a Approach, topo int) (metrics.Result, error) {
+	if err := s.Validate(); err != nil {
+		return metrics.Result{}, err
+	}
+	envSeed := deriveSeed(s.Seed, uint64(topo), 0x0e9f)
+	envRng := rand.New(rand.NewPCG(envSeed, envSeed^0xda3e39cb94b95bdb))
+
+	g, err := buildGraph(s, envRng)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	w, err := pubsub.Generate(g, pubsub.Config{
+		Topics:          s.Topics,
+		PublishInterval: s.PublishInterval,
+		SubProbMin:      s.SubProbMin,
+		SubProbMax:      s.SubProbMax,
+		DeadlineFactor:  s.DeadlineFactor,
+	}, envRng)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+
+	simSeed := deriveSeed(s.Seed, uint64(topo), 0x51f1)
+	sim := des.New(simSeed)
+	monitorInterval := s.MonitorInterval
+	if monitorInterval <= 0 {
+		monitorInterval = 5 * time.Minute
+	}
+	net, err := netsim.New(sim, g, netsim.Config{
+		LossRate:         s.Pl,
+		FailureProb:      s.Pf,
+		NodeFailureProb:  s.NodeFailureProb,
+		FailureEpoch:     time.Second,
+		MonitorInterval:  monitorInterval,
+		InstantControl:   !s.RoundTripAcks,
+		LinkBandwidth:    s.LinkBandwidth,
+		QueueCapacity:    s.QueueCapacity,
+		MonitorSamples:   s.MonitorSamples,
+		MeanFailureBurst: s.MeanFailureBurst,
+	}, deriveSeed(s.Seed, uint64(topo), 0xfa17))
+	if err != nil {
+		return metrics.Result{}, err
+	}
+
+	col := metrics.NewCollector()
+	proto, err := newProtocol(a, net, w, col, s)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+
+	// With measurement-based monitoring, DCRD refreshes its route tables
+	// at every monitoring window (Algorithm 1 re-run on new estimates).
+	if s.MonitorSamples > 0 {
+		if rebuilder, ok := proto.(interface{ Rebuild() }); ok {
+			for at := monitorInterval; at < s.Duration+s.Drain; at += monitorInterval {
+				sim.At(at, rebuilder.Rebuild)
+			}
+		}
+	}
+
+	schedulePublishes(sim, w, col, proto, s, envRng)
+	sim.RunUntil(s.Duration + s.Drain)
+	return col.Result(net.Stats().DataTransmissions), nil
+}
+
+// newProtocol constructs the requested approach over the run's network.
+func newProtocol(a Approach, net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, s Scenario) (Protocol, error) {
+	switch a {
+	case DCRD:
+		return core.NewRouter(net, w, col, core.RouterOptions{
+			M:           s.M,
+			Persistent:  s.Persistent,
+			MaxLifetime: s.MaxLifetime,
+			Build:       core.BuildOptions{Ordering: s.Ordering},
+			Tracer:      s.Tracer,
+		})
+	case RTree:
+		return baseline.NewTreeRouter(net, w, col, baseline.ReliableTree, s.M)
+	case DTree:
+		return baseline.NewTreeRouter(net, w, col, baseline.DelayTree, s.M)
+	case Oracle:
+		return baseline.NewOracleRouter(net, w, col, s.MaxLifetime)
+	case Multipath:
+		return baseline.NewMultipathRouter(net, w, col, s.M)
+	default:
+		return nil, fmt.Errorf("experiment: unknown approach %d", int(a))
+	}
+}
+
+// buildGraph draws the scenario's topology.
+func buildGraph(s Scenario, rng *rand.Rand) (*topology.Graph, error) {
+	delays := topology.DefaultDelayRange()
+	if s.Degree == 0 || s.Degree == s.Nodes-1 {
+		return topology.FullMesh(s.Nodes, delays, rng)
+	}
+	return topology.RandomRegular(s.Nodes, s.Degree, delays, rng)
+}
+
+// schedulePublishes enqueues every publish event up front: each topic's
+// publisher emits one packet per interval, phase-shifted by a random offset
+// so publishers do not fire in lockstep.
+func schedulePublishes(sim *des.Simulator, w *pubsub.Workload, col *metrics.Collector, proto Protocol, s Scenario, rng *rand.Rand) {
+	var nextID uint64
+	for _, t := range w.Topics() {
+		topic := t
+		offset := time.Duration(rng.Int64N(int64(s.PublishInterval)))
+		for at := offset; at < s.Duration; at += s.PublishInterval {
+			nextID++
+			id := nextID
+			when := at
+			sim.At(when, func() {
+				pkt := pubsub.Packet{
+					ID:          id,
+					Topic:       topic.ID,
+					Source:      topic.Publisher,
+					PublishedAt: sim.Now(),
+				}
+				col.Publish(&pkt, topic.Subscribers)
+				proto.Publish(pkt)
+			})
+		}
+	}
+}
+
+// deriveSeed mixes the experiment seed with a topology index and a salt so
+// independent random streams never collide.
+func deriveSeed(seed, topo, salt uint64) uint64 {
+	x := seed ^ (topo+1)*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	x ^= x >> 27
+	return x
+}

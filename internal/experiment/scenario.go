@@ -1,0 +1,186 @@
+// Package experiment wires the substrates together into the paper's
+// evaluation (§IV): scenario configuration, a deterministic multi-topology
+// runner, and one sweep function per figure (Fig. 2–8) that regenerates the
+// paper's series.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Approach enumerates the five routing schemes under comparison.
+type Approach int
+
+// The compared approaches (§IV-B).
+const (
+	DCRD Approach = iota + 1
+	RTree
+	DTree
+	Oracle
+	Multipath
+)
+
+// AllApproaches lists every approach in the paper's legend order.
+func AllApproaches() []Approach {
+	return []Approach{DCRD, RTree, DTree, Oracle, Multipath}
+}
+
+// String returns the paper's name for the approach.
+func (a Approach) String() string {
+	switch a {
+	case DCRD:
+		return "DCRD"
+	case RTree:
+		return "R-Tree"
+	case DTree:
+		return "D-Tree"
+	case Oracle:
+		return "ORACLE"
+	case Multipath:
+		return "Multipath"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Scenario fully describes one experimental condition. The zero value is
+// not runnable; start from DefaultScenario.
+type Scenario struct {
+	// Nodes is the overlay size (20 in most figures).
+	Nodes int
+	// Degree is the per-node link degree; 0 means full mesh.
+	Degree int
+	// Pf is the per-epoch link failure probability.
+	Pf float64
+	// Pl is the per-transmission packet loss rate.
+	Pl float64
+	// M is the number of transmissions per link/neighbor before a sender
+	// declares failure.
+	M int
+	// DeadlineFactor multiplies the shortest-path delay to set D_PS.
+	DeadlineFactor float64
+	// Topics is the number of topics (= publishers).
+	Topics int
+	// PublishInterval is the per-publisher packet interval.
+	PublishInterval time.Duration
+	// SubProbMin/SubProbMax bound the per-topic subscription probability.
+	SubProbMin, SubProbMax float64
+	// Duration is the simulated time during which publishers emit.
+	Duration time.Duration
+	// Drain is extra simulated time after the last publish so in-flight
+	// packets can finish.
+	Drain time.Duration
+	// Topologies is how many random topologies to average over.
+	Topologies int
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// RoundTripAcks switches from the paper's instant-ACK timing model
+	// (Algorithm 2 waits only alpha_Xk, so its simulator must return ACKs
+	// instantaneously) to physical ACK propagation with a 2*alpha wait.
+	// The default (false) reproduces the paper.
+	RoundTripAcks bool
+
+	// --- extensions beyond the paper's evaluation ---
+
+	// NodeFailureProb is Pn for the node-failure extension (paper §V
+	// future work): each epoch, every broker fails for that epoch w.p. Pn.
+	NodeFailureProb float64
+	// Ordering overrides DCRD's sending-list policy for ablation
+	// (default: the Theorem-1 d/r order).
+	Ordering core.Ordering
+	// Persistent enables DCRD's §III persistency mode.
+	Persistent bool
+	// LinkBandwidth caps each link direction at this many frames/s
+	// (0 = infinite; congestion extension).
+	LinkBandwidth float64
+	// QueueCapacity bounds the per-direction transmit queue when
+	// LinkBandwidth is set (0 = unbounded).
+	QueueCapacity int
+	// MaxLifetime bounds how long DCRD and ORACLE keep retrying one
+	// packet (0 = their 30 s default). Congested scenarios use a tight
+	// bound: timeout-driven duplication otherwise snowballs.
+	MaxLifetime time.Duration
+	// Tracer, when non-nil, receives DCRD's per-packet routing timeline
+	// (only meaningful for single-topology DCRD runs).
+	Tracer trace.Recorder
+	// MonitorSamples switches link monitoring from exact estimates to the
+	// success fraction of this many probes per monitoring window
+	// (0 = exact). DCRD rebuilds its tables at every window.
+	MonitorSamples int
+	// MonitorInterval overrides how often monitoring refreshes
+	// (0 = the paper's 5 minutes).
+	MonitorInterval time.Duration
+	// MeanFailureBurst is the mean link outage length in epochs
+	// (<= 1 keeps the paper's memoryless failures).
+	MeanFailureBurst float64
+}
+
+// DefaultScenario returns the paper's baseline setting: 20 nodes, full
+// mesh, Pl = 1e-4, m = 1, deadline 3x shortest-path delay, 10 topics at
+// 1 packet/s, 2 h of simulated time over 10 topologies.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Nodes:           20,
+		Degree:          0,
+		Pf:              0,
+		Pl:              1e-4,
+		M:               1,
+		DeadlineFactor:  3,
+		Topics:          10,
+		PublishInterval: time.Second,
+		SubProbMin:      0.2,
+		SubProbMax:      0.6,
+		Duration:        2 * time.Hour,
+		Drain:           30 * time.Second,
+		Topologies:      10,
+		Seed:            1,
+	}
+}
+
+// Validate reports scenario configuration errors.
+func (s Scenario) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("experiment: Nodes = %d, need >= 2", s.Nodes)
+	}
+	if s.Degree < 0 || s.Degree >= s.Nodes {
+		return fmt.Errorf("experiment: Degree = %d invalid for %d nodes", s.Degree, s.Nodes)
+	}
+	if s.Pf < 0 || s.Pf > 1 {
+		return fmt.Errorf("experiment: Pf = %v outside [0,1]", s.Pf)
+	}
+	if s.Pl < 0 || s.Pl > 1 {
+		return fmt.Errorf("experiment: Pl = %v outside [0,1]", s.Pl)
+	}
+	if s.M < 1 {
+		return fmt.Errorf("experiment: M = %d, need >= 1", s.M)
+	}
+	if s.DeadlineFactor <= 0 {
+		return fmt.Errorf("experiment: DeadlineFactor = %v, need > 0", s.DeadlineFactor)
+	}
+	if s.Topics < 1 {
+		return fmt.Errorf("experiment: Topics = %d, need >= 1", s.Topics)
+	}
+	if s.PublishInterval <= 0 {
+		return fmt.Errorf("experiment: PublishInterval = %v, need > 0", s.PublishInterval)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("experiment: Duration = %v, need > 0", s.Duration)
+	}
+	if s.Topologies < 1 {
+		return fmt.Errorf("experiment: Topologies = %d, need >= 1", s.Topologies)
+	}
+	if s.NodeFailureProb < 0 || s.NodeFailureProb > 1 {
+		return fmt.Errorf("experiment: NodeFailureProb = %v outside [0,1]", s.NodeFailureProb)
+	}
+	if s.LinkBandwidth < 0 {
+		return fmt.Errorf("experiment: negative LinkBandwidth %v", s.LinkBandwidth)
+	}
+	if s.QueueCapacity < 0 {
+		return fmt.Errorf("experiment: negative QueueCapacity %d", s.QueueCapacity)
+	}
+	return nil
+}

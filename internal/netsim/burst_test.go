@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"math"
+	"repro/internal/des"
+	"testing"
+	"time"
+)
+
+func TestBurstStationaryProbabilityPreserved(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{
+		FailureProb:      0.06,
+		MeanFailureBurst: 5,
+		FailureEpoch:     time.Second,
+		MonitorInterval:  time.Minute,
+	}, 41)
+	failed := 0
+	const epochs = 50000
+	for e := 0; e < epochs; e++ {
+		if !n.Alive(0, 1, time.Duration(e)*time.Second) {
+			failed++
+		}
+	}
+	got := float64(failed) / epochs
+	if math.Abs(got-0.06) > 0.01 {
+		t.Errorf("stationary failure fraction = %v, want ~0.06", got)
+	}
+}
+
+func TestBurstMeanOutageLength(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{
+		FailureProb:      0.06,
+		MeanFailureBurst: 5,
+		FailureEpoch:     time.Second,
+		MonitorInterval:  time.Minute,
+	}, 43)
+	const epochs = 100000
+	bursts, total := 0, 0
+	inBurst := false
+	for e := 0; e < epochs; e++ {
+		down := !n.Alive(0, 1, time.Duration(e)*time.Second)
+		if down {
+			total++
+			if !inBurst {
+				bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no outages observed")
+	}
+	mean := float64(total) / float64(bursts)
+	if math.Abs(mean-5) > 0.8 {
+		t.Errorf("mean outage length = %v epochs, want ~5", mean)
+	}
+}
+
+func TestBurstOneEqualsMemoryless(t *testing.T) {
+	// MeanFailureBurst <= 1 must take the memoryless path and match the
+	// plain model exactly (same seed, same draws).
+	g := pairGraph(t, time.Millisecond)
+	_, plain := newNet(t, g, Config{
+		FailureProb: 0.1, FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	}, 47)
+	_, burst1 := newNet(t, g, Config{
+		FailureProb: 0.1, MeanFailureBurst: 1,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	}, 47)
+	for e := 0; e < 1000; e++ {
+		at := time.Duration(e) * time.Second
+		if plain.Alive(0, 1, at) != burst1.Alive(0, 1, at) {
+			t.Fatalf("epoch %d: burst=1 diverges from memoryless", e)
+		}
+	}
+}
+
+func TestBurstQueriesOutOfOrder(t *testing.T) {
+	// The lazy chain must give consistent answers regardless of query
+	// order (late first, then early).
+	g := pairGraph(t, time.Millisecond)
+	_, a := newNet(t, g, Config{
+		FailureProb: 0.2, MeanFailureBurst: 4,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	}, 53)
+	_, b := newNet(t, g, Config{
+		FailureProb: 0.2, MeanFailureBurst: 4,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	}, 53)
+	// a: forward order; b: reverse order.
+	fwd := make([]bool, 500)
+	for e := 0; e < 500; e++ {
+		fwd[e] = a.Alive(0, 1, time.Duration(e)*time.Second)
+	}
+	for e := 499; e >= 0; e-- {
+		if b.Alive(0, 1, time.Duration(e)*time.Second) != fwd[e] {
+			t.Fatalf("epoch %d: out-of-order query changed the chain", e)
+		}
+	}
+}
+
+func TestBurstInfeasibleConfigRejected(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	// Pf=0.9 with burst 2: up->down prob = 0.9/(2*0.1) = 4.5 > 1.
+	if _, err := New(des.New(1), g, Config{
+		FailureProb: 0.9, MeanFailureBurst: 2,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	}, 1); err == nil {
+		t.Error("infeasible burst config accepted")
+	}
+	if _, err := New(des.New(1), g, Config{
+		MeanFailureBurst: -1,
+		FailureEpoch:     time.Second, MonitorInterval: time.Minute,
+	}, 1); err == nil {
+		t.Error("negative burst accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"math"
+	"repro/internal/des"
+	"testing"
+	"time"
+)
+
+func TestEstimateAtExactWhenNoSamples(t *testing.T) {
+	g := pairGraph(t, 15*time.Millisecond)
+	_, n := newNet(t, g, Config{
+		LossRate: 0.01, FailureProb: 0.05,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	})
+	exact, _ := n.Estimate(0, 1)
+	at, ok := n.EstimateAt(0, 1, 42*time.Second)
+	if !ok || at != exact {
+		t.Errorf("EstimateAt = %+v, want exact %+v", at, exact)
+	}
+}
+
+func TestEstimateAtMissingLink(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	if _, ok := n.EstimateAt(0, 5, 0); ok {
+		t.Error("estimate for missing link reported ok")
+	}
+}
+
+func TestEstimateAtSampled(t *testing.T) {
+	g := pairGraph(t, 15*time.Millisecond)
+	_, n := newNet(t, g, Config{
+		LossRate: 0, FailureProb: 0.10,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+		MonitorSamples: 50,
+	}, 17)
+	est, ok := n.EstimateAt(0, 1, 0)
+	if !ok {
+		t.Fatal("estimate missing")
+	}
+	if est.Alpha != 15*time.Millisecond {
+		t.Errorf("alpha = %v, want exact 15ms", est.Alpha)
+	}
+	// Gamma is quantized to multiples of 1/50 and clustered around 0.9.
+	if est.Gamma < 0.7 || est.Gamma > 1.0 {
+		t.Errorf("gamma = %v, implausible for true 0.9", est.Gamma)
+	}
+	q := est.Gamma * 50
+	if math.Abs(q-math.Round(q)) > 1e-9 {
+		t.Errorf("gamma %v not a multiple of 1/50", est.Gamma)
+	}
+}
+
+func TestEstimateAtStableWithinWindowChangesAcross(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{
+		FailureProb:  0.3,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+		MonitorSamples: 10,
+	}, 23)
+	a, _ := n.EstimateAt(0, 1, 5*time.Second)
+	b, _ := n.EstimateAt(0, 1, 59*time.Second)
+	if a != b {
+		t.Error("estimate changed within one monitoring window")
+	}
+	changed := false
+	for w := 1; w <= 20; w++ {
+		c, _ := n.EstimateAt(0, 1, time.Duration(w)*time.Minute+time.Second)
+		if c != a {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("estimate never changed across 20 windows at 10 samples")
+	}
+}
+
+func TestEstimateAtMeanTracksTruth(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{
+		LossRate: 0.02, FailureProb: 0.08,
+		FailureEpoch: time.Second, MonitorInterval: time.Minute,
+		MonitorSamples: 25,
+	}, 29)
+	truth := (1 - 0.02) * (1 - 0.08)
+	var sum float64
+	const windows = 2000
+	for w := 0; w < windows; w++ {
+		est, _ := n.EstimateAt(0, 1, time.Duration(w)*time.Minute)
+		sum += est.Gamma
+	}
+	mean := sum / windows
+	if math.Abs(mean-truth) > 0.01 {
+		t.Errorf("mean sampled gamma %v, want ~%v", mean, truth)
+	}
+}
+
+func TestNegativeMonitorSamplesRejected(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim := des.New(1)
+	if _, err := New(sim, g, Config{
+		MonitorSamples: -1, FailureEpoch: time.Second, MonitorInterval: time.Minute,
+	}, 1); err == nil {
+		t.Error("negative MonitorSamples accepted")
+	}
+}

@@ -1,0 +1,516 @@
+// Package netsim simulates the overlay network substrate the paper evaluates
+// on: links with fixed propagation delays, independent per-transmission
+// packet loss (Pl), and a dynamic failure process in which, at every 1 s
+// epoch boundary, each link independently fails for that entire epoch with
+// probability Pf ("we change the network condition once every second ...
+// link failures ... cause one second of packet loss").
+//
+// Frames sent over a failed link are lost, as are frames that hit the
+// per-transmission loss draw; loss applies to data and ACK frames alike.
+// Nodes learn about links only through monitoring estimates (per-link
+// expected delay and long-run delivery ratio), refreshed every 5 minutes —
+// far slower than the failure process, which is exactly the regime DCRD's
+// dynamic rerouting targets. Only the ORACLE baseline is allowed to query
+// instantaneous link state via Alive.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/topology"
+)
+
+// FrameKind distinguishes payload-carrying frames from control frames.
+type FrameKind int
+
+// Frame kinds. Data frames are the unit of the paper's "packets sent"
+// traffic metric; control frames (ACKs, parameter advertisements) are
+// excluded from it but traverse the same lossy links.
+const (
+	Data FrameKind = iota + 1
+	Control
+)
+
+// String returns a human-readable frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", int(k))
+	}
+}
+
+// Frame is a single transmission over one overlay link.
+type Frame struct {
+	ID      uint64
+	From    int
+	To      int
+	Kind    FrameKind
+	Payload any
+}
+
+// Handler receives frames that survive the link.
+type Handler func(Frame)
+
+// Config holds the network-condition parameters of a simulation run.
+type Config struct {
+	// LossRate is Pl, the per-transmission loss probability on a healthy
+	// link. The paper's default is 1e-4.
+	LossRate float64
+	// FailureProb is Pf, the probability that a link fails at each failure
+	// epoch. The paper sweeps 0..0.1.
+	FailureProb float64
+	// NodeFailureProb is Pn, the probability that a broker node fails at
+	// each failure epoch, taking down every link incident to it for that
+	// epoch. The paper defers node failures to future work (§V); this
+	// implements that extension so it can be evaluated.
+	NodeFailureProb float64
+	// MeanFailureBurst is the mean link outage length in epochs. Values
+	// <= 1 keep the paper's memoryless per-epoch model; larger values
+	// switch to a two-state Gilbert–Elliott chain with the same
+	// stationary failure probability Pf but correlated multi-epoch
+	// outages — the "persistent failures" the paper's §III persistency
+	// mode targets.
+	MeanFailureBurst float64
+	// FailureEpoch is the duration of one failure period (1 s in the paper).
+	FailureEpoch time.Duration
+	// MonitorInterval is how often nodes refresh link estimates
+	// (5 min in the paper).
+	MonitorInterval time.Duration
+	// InstantControl makes control frames (ACKs) propagate with zero
+	// delay. The paper's Algorithm 2 arms its retransmission timer for
+	// only alpha_Xk — one-way data propagation — which is consistent only
+	// if its simulator returns ACKs instantaneously; enabling this
+	// reproduces that model (and the paper's delay numbers). Disabled,
+	// ACKs take the link's propagation delay like any frame and senders
+	// must wait a full round trip. Control frames remain subject to link
+	// failures and loss either way.
+	InstantControl bool
+	// LinkBandwidth caps each link direction at this many frames per
+	// second; frames queue FIFO behind the transmitter and the queueing
+	// delay adds to their latency. Zero means infinite bandwidth (the
+	// paper's model). This extension exercises the "highly congested
+	// link" scenario the paper's introduction motivates DCRD with.
+	LinkBandwidth float64
+	// QueueCapacity bounds the per-direction transmit queue when
+	// LinkBandwidth is set; a frame arriving to a full queue is dropped
+	// (congestion loss). Zero means unbounded.
+	QueueCapacity int
+	// MonitorSamples models measurement-based monitoring: each monitoring
+	// window, a link's delivery-ratio estimate is the success fraction of
+	// this many simulated probe transmissions instead of the exact
+	// long-run probability. Zero keeps exact estimates (the default
+	// idealization). Estimates are deterministic per (link, window).
+	MonitorSamples int
+}
+
+// DefaultConfig returns the paper's baseline network conditions.
+func DefaultConfig() Config {
+	return Config{
+		LossRate:        1e-4,
+		FailureProb:     0,
+		FailureEpoch:    time.Second,
+		MonitorInterval: 5 * time.Minute,
+	}
+}
+
+// validate reports configuration errors.
+func (c Config) validate() error {
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return fmt.Errorf("netsim: loss rate %v outside [0,1]", c.LossRate)
+	}
+	if c.FailureProb < 0 || c.FailureProb > 1 {
+		return fmt.Errorf("netsim: failure probability %v outside [0,1]", c.FailureProb)
+	}
+	if c.NodeFailureProb < 0 || c.NodeFailureProb > 1 {
+		return fmt.Errorf("netsim: node failure probability %v outside [0,1]", c.NodeFailureProb)
+	}
+	if c.FailureEpoch <= 0 {
+		return fmt.Errorf("netsim: failure epoch %v must be positive", c.FailureEpoch)
+	}
+	if c.MonitorInterval <= 0 {
+		return fmt.Errorf("netsim: monitor interval %v must be positive", c.MonitorInterval)
+	}
+	if c.LinkBandwidth < 0 {
+		return fmt.Errorf("netsim: negative link bandwidth %v", c.LinkBandwidth)
+	}
+	if c.QueueCapacity < 0 {
+		return fmt.Errorf("netsim: negative queue capacity %d", c.QueueCapacity)
+	}
+	if c.MonitorSamples < 0 {
+		return fmt.Errorf("netsim: negative monitor samples %d", c.MonitorSamples)
+	}
+	if c.MeanFailureBurst < 0 {
+		return fmt.Errorf("netsim: negative mean failure burst %v", c.MeanFailureBurst)
+	}
+	if c.MeanFailureBurst > 1 && c.FailureProb > 0 {
+		if up := c.FailureProb / (c.MeanFailureBurst * (1 - c.FailureProb)); up > 1 {
+			return fmt.Errorf("netsim: burst %v infeasible for Pf=%v (up->down prob %v > 1)",
+				c.MeanFailureBurst, c.FailureProb, up)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates traffic counters for one run.
+type Stats struct {
+	// DataTransmissions counts every data-frame send attempt (including
+	// retransmissions and multipath duplicates) — the paper's "total number
+	// of packets sent by any node".
+	DataTransmissions uint64
+	// ControlTransmissions counts ACK/control sends.
+	ControlTransmissions uint64
+	// DroppedFailure counts frames lost to failed links.
+	DroppedFailure uint64
+	// DroppedLoss counts frames lost to random per-transmission loss.
+	DroppedLoss uint64
+	// DroppedQueue counts frames lost to full transmit queues
+	// (congestion loss; only with LinkBandwidth and QueueCapacity set).
+	DroppedQueue uint64
+	// Delivered counts frames handed to a receiving node.
+	Delivered uint64
+}
+
+// LinkEstimate is what monitoring reports to nodes about one link: the
+// expected single-transmission delay alpha and the long-run
+// single-transmission delivery ratio gamma of the paper's Eq. (1) inputs.
+type LinkEstimate struct {
+	Alpha time.Duration
+	Gamma float64
+}
+
+// Network binds a topology to a discrete-event simulator and implements
+// frame transmission under the configured loss and failure processes.
+type Network struct {
+	sim      *des.Simulator
+	g        *topology.Graph
+	cfg      Config
+	handlers []Handler
+	linkIdx  map[[2]int]int
+	forced   map[[2]int]bool
+	failSeed uint64
+	nextID   uint64
+	stats    Stats
+	// txFree[(from,to)] is when each directed transmitter is next idle,
+	// used by the optional bandwidth/queueing model.
+	txFree map[[2]int]time.Duration
+	// burst caches per-link Gilbert–Elliott state chains (lazily grown)
+	// when MeanFailureBurst > 1.
+	burst [][]bool
+}
+
+// New builds a network over g driven by sim. failSeed parameterizes the
+// deterministic failure process so distinct runs see distinct failure
+// patterns while identical seeds reproduce exactly.
+func New(sim *des.Simulator, g *topology.Graph, cfg Config, failSeed uint64) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		sim:      sim,
+		g:        g,
+		cfg:      cfg,
+		handlers: make([]Handler, g.N()),
+		linkIdx:  make(map[[2]int]int, g.NumEdges()),
+		forced:   make(map[[2]int]bool),
+		failSeed: failSeed,
+		txFree:   make(map[[2]int]time.Duration),
+	}
+	for i, l := range g.Links() {
+		n.linkIdx[[2]int{l.From, l.To}] = i
+	}
+	if cfg.MeanFailureBurst > 1 {
+		n.burst = make([][]bool, g.NumEdges())
+	}
+	return n, nil
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *des.Simulator { return n.sim }
+
+// Graph returns the overlay topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Config returns the network conditions.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetHandler installs the frame receiver for a node. Passing nil silently
+// discards frames addressed to the node.
+func (n *Network) SetHandler(node int, h Handler) {
+	n.handlers[node] = h
+}
+
+// NextFrameID allocates a run-unique frame identifier.
+func (n *Network) NextFrameID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// Alive reports whether link (u,v) is up at virtual time t. This is
+// instantaneous ground truth: only the ORACLE baseline and test assertions
+// may consult it. Routing protocols must use Estimate.
+func (n *Network) Alive(u, v int, t time.Duration) bool {
+	a, b := topology.Canonical(u, v)
+	idx, ok := n.linkIdx[[2]int{a, b}]
+	if !ok {
+		return false
+	}
+	if n.forced[[2]int{a, b}] {
+		return false
+	}
+	if n.nodeFailedAt(a, t) || n.nodeFailedAt(b, t) {
+		return false
+	}
+	return !n.failedAt(idx, t)
+}
+
+// NodeAlive reports whether broker node u is up at virtual time t under the
+// node-failure extension (always true when NodeFailureProb is 0).
+func (n *Network) NodeAlive(u int, t time.Duration) bool {
+	return !n.nodeFailedAt(u, t)
+}
+
+// nodeFailedAt is the deterministic per-(node, epoch) Bernoulli(Pn) draw of
+// the node-failure process, mirroring failedAt for links.
+func (n *Network) nodeFailedAt(u int, t time.Duration) bool {
+	if n.cfg.NodeFailureProb <= 0 {
+		return false
+	}
+	if n.cfg.NodeFailureProb >= 1 {
+		return true
+	}
+	epoch := uint64(t / n.cfg.FailureEpoch)
+	h := splitmix64(n.failSeed ^ 0xfeed_face_cafe_beef ^ splitmix64(uint64(u)+11) ^ splitmix64(epoch+7))
+	uf := float64(h>>11) / float64(1<<53)
+	return uf < n.cfg.NodeFailureProb
+}
+
+// ForceDown forces link (u,v) down (in both directions) until Restore,
+// independent of the random failure process. Used for failure-injection
+// tests and demos. It returns an error when the link does not exist.
+func (n *Network) ForceDown(u, v int) error {
+	a, b := topology.Canonical(u, v)
+	if _, ok := n.linkIdx[[2]int{a, b}]; !ok {
+		return fmt.Errorf("netsim: force-down of missing link (%d,%d)", u, v)
+	}
+	n.forced[[2]int{a, b}] = true
+	return nil
+}
+
+// Restore lifts a ForceDown on link (u,v).
+func (n *Network) Restore(u, v int) error {
+	a, b := topology.Canonical(u, v)
+	if _, ok := n.linkIdx[[2]int{a, b}]; !ok {
+		return fmt.Errorf("netsim: restore of missing link (%d,%d)", u, v)
+	}
+	delete(n.forced, [2]int{a, b})
+	return nil
+}
+
+// Estimate returns the monitored <alpha, gamma> estimate for link (u,v):
+// the true propagation delay and the long-run per-transmission success
+// probability (1-Pl)(1-Pf). The boolean reports whether the link exists.
+// With Config.MonitorSamples set, use EstimateAt instead — this method
+// keeps returning the exact value.
+func (n *Network) Estimate(u, v int) (LinkEstimate, bool) {
+	d, ok := n.g.LinkDelay(u, v)
+	if !ok {
+		return LinkEstimate{}, false
+	}
+	return LinkEstimate{
+		Alpha: d,
+		Gamma: (1 - n.cfg.LossRate) * (1 - n.cfg.FailureProb),
+	}, true
+}
+
+// EstimateAt returns the monitoring estimate current at virtual time t.
+// With MonitorSamples == 0 it equals Estimate (exact). Otherwise gamma is
+// the success fraction of MonitorSamples simulated probe transmissions
+// taken during the monitoring window containing t — a noisy, stale view
+// that only refreshes once per MonitorInterval, like the paper's 5-minute
+// monitoring. Alpha stays exact (delay is easy to measure).
+func (n *Network) EstimateAt(u, v int, t time.Duration) (LinkEstimate, bool) {
+	est, ok := n.Estimate(u, v)
+	if !ok {
+		return LinkEstimate{}, false
+	}
+	if n.cfg.MonitorSamples == 0 {
+		return est, true
+	}
+	a, b := topology.Canonical(u, v)
+	idx := n.linkIdx[[2]int{a, b}]
+	window := uint64(t / n.cfg.MonitorInterval)
+	successes := 0
+	for s := 0; s < n.cfg.MonitorSamples; s++ {
+		h := splitmix64(n.failSeed ^ 0x6d6f_6e69_746f_7231 ^
+			splitmix64(uint64(idx)+3) ^ splitmix64(window+5) ^ splitmix64(uint64(s)+7))
+		draw := float64(h>>11) / float64(1<<53)
+		if draw < est.Gamma {
+			successes++
+		}
+	}
+	est.Gamma = float64(successes) / float64(n.cfg.MonitorSamples)
+	return est, true
+}
+
+// Send transmits one frame from frame.From to frame.To. The frame is
+// delivered to the receiver's handler after the link's propagation delay
+// unless the link is failed at send time or the per-transmission loss draw
+// hits. It returns an error if the link does not exist.
+func (n *Network) Send(frame Frame) error {
+	delay, ok := n.g.LinkDelay(frame.From, frame.To)
+	if !ok {
+		return fmt.Errorf("netsim: send over missing link (%d,%d)", frame.From, frame.To)
+	}
+	switch frame.Kind {
+	case Data:
+		n.stats.DataTransmissions++
+	case Control:
+		n.stats.ControlTransmissions++
+	default:
+		return fmt.Errorf("netsim: frame with unset kind on link (%d,%d)", frame.From, frame.To)
+	}
+	if !n.Alive(frame.From, frame.To, n.sim.Now()) {
+		n.stats.DroppedFailure++
+		return nil
+	}
+	if n.cfg.LossRate > 0 && n.sim.Rand().Float64() < n.cfg.LossRate {
+		n.stats.DroppedLoss++
+		return nil
+	}
+	if frame.Kind == Control && n.cfg.InstantControl {
+		delay = 0
+	}
+	// Optional bandwidth model: the frame first waits for (and then
+	// occupies) the directed transmitter for one serialization slot.
+	// Control frames (ACKs, adverts) are tiny and exempt.
+	if n.cfg.LinkBandwidth > 0 && frame.Kind == Data {
+		now := n.sim.Now()
+		slot := time.Duration(float64(time.Second) / n.cfg.LinkBandwidth)
+		dir := [2]int{frame.From, frame.To}
+		free := n.txFree[dir]
+		if free < now {
+			free = now
+		}
+		if n.cfg.QueueCapacity > 0 && free-now >= slot*time.Duration(n.cfg.QueueCapacity) {
+			n.stats.DroppedQueue++
+			return nil
+		}
+		depart := free + slot
+		n.txFree[dir] = depart
+		delay += depart - now
+	}
+	n.sim.After(delay, func() {
+		n.stats.Delivered++
+		if h := n.handlers[frame.To]; h != nil {
+			h(frame)
+		}
+	})
+	return nil
+}
+
+// ackHeadroomSlots is how many serialization slots of queueing a sender
+// tolerates before treating a link as failed when the bandwidth model is
+// active. Below this, transient bursts ride out; beyond it, a congested
+// link looks like a failed one — the behavior the paper's introduction
+// motivates DCRD with.
+const ackHeadroomSlots = 4
+
+// AckWait returns how long a sender on link (u,v) should wait for a
+// hop-by-hop ACK before acting: one-way alpha under the paper's
+// instant-control model, a full round trip otherwise, plus a few
+// serialization slots of headroom when the bandwidth model is active.
+// The boolean reports whether the link exists.
+func (n *Network) AckWait(u, v int) (time.Duration, bool) {
+	d, ok := n.g.LinkDelay(u, v)
+	if !ok {
+		return 0, false
+	}
+	wait := 2 * d
+	if n.cfg.InstantControl {
+		wait = d
+	}
+	if n.cfg.LinkBandwidth > 0 {
+		slot := time.Duration(float64(time.Second) / n.cfg.LinkBandwidth)
+		wait += ackHeadroomSlots * slot
+	}
+	return wait, true
+}
+
+// NextEpochBoundary returns the first failure-epoch boundary strictly after
+// t — the earliest instant at which link states can change.
+func (n *Network) NextEpochBoundary(t time.Duration) time.Duration {
+	e := t/n.cfg.FailureEpoch + 1
+	return e * n.cfg.FailureEpoch
+}
+
+// failedAt reports the deterministic failure state of the idx-th link during
+// the epoch containing t. In the paper's memoryless model each (link, epoch)
+// pair is an independent Bernoulli(Pf) draw derived by hashing, so the
+// process needs no scheduled events and is O(1) to query. With
+// MeanFailureBurst > 1 the state follows a per-link Gilbert–Elliott chain.
+func (n *Network) failedAt(idx int, t time.Duration) bool {
+	if n.cfg.FailureProb <= 0 {
+		return false
+	}
+	if n.cfg.FailureProb >= 1 {
+		return true
+	}
+	epoch := uint64(t / n.cfg.FailureEpoch)
+	if n.burst != nil {
+		return n.burstFailedAt(idx, epoch)
+	}
+	u := n.epochDraw(idx, epoch)
+	return u < n.cfg.FailureProb
+}
+
+// epochDraw returns the deterministic uniform draw for (link, epoch).
+func (n *Network) epochDraw(idx int, epoch uint64) float64 {
+	h := splitmix64(n.failSeed ^ splitmix64(uint64(idx)+1) ^ splitmix64(epoch+0x1234_5678_9abc_def1))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// burstFailedAt evaluates the Gilbert–Elliott chain: a failed link recovers
+// each epoch w.p. 1/L; a healthy one fails w.p. Pf/(L(1-Pf)), so the
+// stationary failure probability stays exactly Pf while the mean outage
+// lasts L epochs. States are derived lazily from the same deterministic
+// per-epoch draws as the memoryless model.
+func (n *Network) burstFailedAt(idx int, epoch uint64) bool {
+	pf := n.cfg.FailureProb
+	l := n.cfg.MeanFailureBurst
+	pRecover := 1 / l
+	pFail := pf / (l * (1 - pf))
+	states := n.burst[idx]
+	for uint64(len(states)) <= epoch {
+		e := uint64(len(states))
+		u := n.epochDraw(idx, e)
+		var failed bool
+		if e == 0 {
+			failed = u < pf // stationary initial state
+		} else if states[e-1] {
+			failed = u >= pRecover
+		} else {
+			failed = u < pFail
+		}
+		states = append(states, failed)
+	}
+	n.burst[idx] = states
+	return states[epoch]
+}
+
+// splitmix64 is the SplitMix64 mixing function, used to derive independent
+// uniform draws for the lazy failure process.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

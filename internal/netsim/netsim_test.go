@@ -1,0 +1,321 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/topology"
+)
+
+func pairGraph(t *testing.T, delay time.Duration) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph(2)
+	if err := g.AddLink(0, 1, delay); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newNet(t *testing.T, g *topology.Graph, cfg Config, seeds ...uint64) (*des.Simulator, *Network) {
+	t.Helper()
+	seed := uint64(1)
+	if len(seeds) > 0 {
+		seed = seeds[0]
+	}
+	sim := des.New(seed)
+	n, err := New(sim, g, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, n
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim := des.New(1)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "negative loss", cfg: Config{LossRate: -0.1, FailureEpoch: time.Second, MonitorInterval: time.Minute}},
+		{name: "loss > 1", cfg: Config{LossRate: 1.1, FailureEpoch: time.Second, MonitorInterval: time.Minute}},
+		{name: "bad failure prob", cfg: Config{FailureProb: 2, FailureEpoch: time.Second, MonitorInterval: time.Minute}},
+		{name: "zero epoch", cfg: Config{MonitorInterval: time.Minute}},
+		{name: "zero monitor", cfg: Config{FailureEpoch: time.Second}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(sim, g, tt.cfg, 1); err == nil {
+				t.Errorf("config %+v should be rejected", tt.cfg)
+			}
+		})
+	}
+	if _, err := New(sim, g, DefaultConfig(), 1); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestDeliveryAfterPropagationDelay(t *testing.T) {
+	g := pairGraph(t, 25*time.Millisecond)
+	sim, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	var got []time.Duration
+	n.SetHandler(1, func(f Frame) { got = append(got, sim.Now()) })
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1, Kind: Data, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(got) != 1 || got[0] != 25*time.Millisecond {
+		t.Errorf("delivery times = %v, want [25ms]", got)
+	}
+	st := n.Stats()
+	if st.DataTransmissions != 1 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSendOverMissingLinkFails(t *testing.T) {
+	g := topology.NewGraph(3)
+	if err := g.AddLink(0, 1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	_, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	if err := n.Send(Frame{ID: 1, From: 0, To: 2, Kind: Data}); err == nil {
+		t.Error("send over missing link should error")
+	}
+}
+
+func TestUnsetFrameKindRejected(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1}); err == nil {
+		t.Error("unset frame kind should error")
+	}
+}
+
+func TestTotalLossDropsEverything(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{LossRate: 1, FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	delivered := 0
+	n.SetHandler(1, func(Frame) { delivered++ })
+	for i := 0; i < 100; i++ {
+		if err := n.Send(Frame{ID: uint64(i), From: 0, To: 1, Kind: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d frames under 100%% loss", delivered)
+	}
+	if n.Stats().DroppedLoss != 100 {
+		t.Errorf("DroppedLoss = %d, want 100", n.Stats().DroppedLoss)
+	}
+}
+
+func TestLossRateStatistical(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{LossRate: 0.2, FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	delivered := 0
+	n.SetHandler(1, func(Frame) { delivered++ })
+	const total = 20000
+	for i := 0; i < total; i++ {
+		if err := n.Send(Frame{ID: uint64(i), From: 0, To: 1, Kind: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	got := float64(delivered) / total
+	if math.Abs(got-0.8) > 0.02 {
+		t.Errorf("delivery fraction = %v, want ~0.8", got)
+	}
+}
+
+func TestFailureStateConstantWithinEpoch(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{FailureProb: 0.5, FailureEpoch: time.Second, MonitorInterval: time.Minute}, 7)
+	for epoch := 0; epoch < 50; epoch++ {
+		base := time.Duration(epoch) * time.Second
+		first := n.Alive(0, 1, base)
+		for _, off := range []time.Duration{1, 250 * time.Millisecond, 999 * time.Millisecond} {
+			if n.Alive(0, 1, base+off) != first {
+				t.Fatalf("epoch %d: link state changed mid-epoch", epoch)
+			}
+		}
+	}
+}
+
+func TestFailureProbabilityStatistical(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{FailureProb: 0.1, FailureEpoch: time.Second, MonitorInterval: time.Minute}, 99)
+	failed := 0
+	const epochs = 20000
+	for e := 0; e < epochs; e++ {
+		if !n.Alive(0, 1, time.Duration(e)*time.Second) {
+			failed++
+		}
+	}
+	got := float64(failed) / epochs
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("failure fraction = %v, want ~0.1", got)
+	}
+}
+
+func TestFailureEdgeCases(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n0 := newNet(t, g, Config{FailureProb: 0, FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	_, n1 := newNet(t, g, Config{FailureProb: 1, FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	for e := 0; e < 100; e++ {
+		at := time.Duration(e) * time.Second
+		if !n0.Alive(0, 1, at) {
+			t.Fatal("Pf=0 produced a failure")
+		}
+		if n1.Alive(0, 1, at) {
+			t.Fatal("Pf=1 produced a live link")
+		}
+	}
+	if n0.Alive(0, 2, 0) {
+		t.Error("missing link reported alive")
+	}
+}
+
+func TestFailedLinkDropsFrames(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{FailureProb: 1, FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	delivered := 0
+	n.SetHandler(1, func(Frame) { delivered++ })
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1, Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if delivered != 0 {
+		t.Error("frame crossed a failed link")
+	}
+	if n.Stats().DroppedFailure != 1 {
+		t.Errorf("DroppedFailure = %d, want 1", n.Stats().DroppedFailure)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	g := pairGraph(t, 30*time.Millisecond)
+	_, n := newNet(t, g, Config{LossRate: 0.01, FailureProb: 0.05, FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	est, ok := n.Estimate(0, 1)
+	if !ok {
+		t.Fatal("estimate missing for existing link")
+	}
+	if est.Alpha != 30*time.Millisecond {
+		t.Errorf("Alpha = %v", est.Alpha)
+	}
+	want := 0.99 * 0.95
+	if math.Abs(est.Gamma-want) > 1e-12 {
+		t.Errorf("Gamma = %v, want %v", est.Gamma, want)
+	}
+	if _, ok := n.Estimate(0, 0); ok {
+		t.Error("estimate for missing link should be !ok")
+	}
+}
+
+func TestNextEpochBoundary(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	_, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	tests := []struct{ at, want time.Duration }{
+		{0, time.Second},
+		{999 * time.Millisecond, time.Second},
+		{time.Second, 2 * time.Second},
+		{2500 * time.Millisecond, 3 * time.Second},
+	}
+	for _, tt := range tests {
+		if got := n.NextEpochBoundary(tt.at); got != tt.want {
+			t.Errorf("NextEpochBoundary(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestDeterministicFailurePattern(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	read := func(seed uint64) []bool {
+		sim := des.New(1)
+		n, err := New(sim, g, Config{FailureProb: 0.3, FailureEpoch: time.Second, MonitorInterval: time.Minute}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 100)
+		for e := range out {
+			out[e] = n.Alive(0, 1, time.Duration(e)*time.Second)
+		}
+		return out
+	}
+	a, b := read(5), read(5)
+	diffSeed := read(6)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same failSeed produced different failure patterns")
+		}
+		if a[i] != diffSeed[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different failSeeds produced identical failure patterns")
+	}
+}
+
+func TestControlFramesCountedSeparately(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1, Kind: Control}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	st := n.Stats()
+	if st.ControlTransmissions != 1 || st.DataTransmissions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestIndependentLinkFailures(t *testing.T) {
+	// On a triangle with Pf=0.5, the three links' failure indicators over
+	// many epochs must not be perfectly correlated.
+	g := topology.NewGraph(3)
+	for _, l := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := g.AddLink(l[0], l[1], time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, n := newNet(t, g, Config{FailureProb: 0.5, FailureEpoch: time.Second, MonitorInterval: time.Minute}, 11)
+	agree01 := 0
+	const epochs = 2000
+	for e := 0; e < epochs; e++ {
+		at := time.Duration(e) * time.Second
+		if n.Alive(0, 1, at) == n.Alive(1, 2, at) {
+			agree01++
+		}
+	}
+	frac := float64(agree01) / epochs
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("link state agreement fraction = %v, want ~0.5 (independent)", frac)
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	g := topology.NewGraph(2)
+	if err := g.AddLink(0, 1, time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	sim := des.New(1)
+	n, err := New(sim, g, Config{LossRate: 1e-4, FailureProb: 0.05, FailureEpoch: time.Second, MonitorInterval: time.Minute}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetHandler(1, func(Frame) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Send(Frame{ID: uint64(i), From: 0, To: 1, Kind: Data})
+		if i%1000 == 999 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}

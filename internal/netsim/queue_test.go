@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+func TestBandwidthSerializesFrames(t *testing.T) {
+	g := pairGraph(t, 10*time.Millisecond)
+	// 10 frames/s => 100ms serialization slot.
+	sim, n := newNet(t, g, Config{
+		FailureEpoch:    time.Second,
+		MonitorInterval: time.Minute,
+		LinkBandwidth:   10,
+	})
+	var arrivals []time.Duration
+	n.SetHandler(1, func(Frame) { arrivals = append(arrivals, sim.Now()) })
+	for i := 0; i < 3; i++ {
+		if err := n.Send(Frame{ID: uint64(i), From: 0, To: 1, Kind: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	// Frame i departs at (i+1)*100ms and arrives 10ms later.
+	want := []time.Duration{110 * time.Millisecond, 210 * time.Millisecond, 310 * time.Millisecond}
+	if len(arrivals) != len(want) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Errorf("arrival[%d] = %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+}
+
+func TestBandwidthIdleLinkOnlyAddsSlot(t *testing.T) {
+	g := pairGraph(t, 10*time.Millisecond)
+	sim, n := newNet(t, g, Config{
+		FailureEpoch:    time.Second,
+		MonitorInterval: time.Minute,
+		LinkBandwidth:   1000, // 1ms slot
+	})
+	var at time.Duration = -1
+	n.SetHandler(1, func(Frame) { at = sim.Now() })
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1, Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if at != 11*time.Millisecond {
+		t.Errorf("arrival = %v, want 11ms (1ms slot + 10ms propagation)", at)
+	}
+}
+
+func TestQueueCapacityTailDrop(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{
+		FailureEpoch:    time.Second,
+		MonitorInterval: time.Minute,
+		LinkBandwidth:   10, // 100ms slot
+		QueueCapacity:   2,
+	})
+	delivered := 0
+	n.SetHandler(1, func(Frame) { delivered++ })
+	// Burst of 5: first occupies the transmitter; at most 2 more may wait.
+	for i := 0; i < 5; i++ {
+		if err := n.Send(Frame{ID: uint64(i), From: 0, To: 1, Kind: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if delivered >= 5 {
+		t.Fatalf("no tail drop: delivered %d of 5", delivered)
+	}
+	st := n.Stats()
+	if st.DroppedQueue == 0 {
+		t.Error("DroppedQueue not counted")
+	}
+	if int(st.DroppedQueue)+delivered != 5 {
+		t.Errorf("drops (%d) + delivered (%d) != 5", st.DroppedQueue, delivered)
+	}
+}
+
+func TestDirectionsQueueIndependently(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{
+		FailureEpoch:    time.Second,
+		MonitorInterval: time.Minute,
+		LinkBandwidth:   10,
+	})
+	var fwd, rev time.Duration = -1, -1
+	n.SetHandler(1, func(Frame) { fwd = sim.Now() })
+	n.SetHandler(0, func(Frame) { rev = sim.Now() })
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1, Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Frame{ID: 2, From: 1, To: 0, Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	// Both should arrive at slot+propagation = 101ms, not queue behind
+	// each other.
+	if fwd != rev || fwd != 101*time.Millisecond {
+		t.Errorf("fwd = %v, rev = %v, want both 101ms", fwd, rev)
+	}
+}
+
+func TestZeroBandwidthMeansInfinite(t *testing.T) {
+	g := pairGraph(t, 5*time.Millisecond)
+	sim, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	var arrivals []time.Duration
+	n.SetHandler(1, func(Frame) { arrivals = append(arrivals, sim.Now()) })
+	for i := 0; i < 10; i++ {
+		if err := n.Send(Frame{ID: uint64(i), From: 0, To: 1, Kind: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	for _, at := range arrivals {
+		if at != 5*time.Millisecond {
+			t.Fatalf("arrival at %v; infinite bandwidth should be pure propagation", at)
+		}
+	}
+}
+
+func TestBandwidthConfigValidation(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	for _, cfg := range []Config{
+		{LinkBandwidth: -1, FailureEpoch: time.Second, MonitorInterval: time.Minute},
+		{QueueCapacity: -1, FailureEpoch: time.Second, MonitorInterval: time.Minute},
+	} {
+		if _, err := New(des.New(1), g, cfg, 1); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package plot renders simple ASCII line charts for the experiment
+// harness: each figure's series plotted on a character canvas with axes,
+// per-series markers and a legend — enough to eyeball the paper's curve
+// shapes straight from a terminal.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	Xs    []float64
+	Ys    []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	// Width and Height are the plot-area size in characters
+	// (defaults 60x16).
+	Width, Height int
+	// YMin/YMax fix the y range; with YMin == YMax the range is derived
+	// from the data with a small margin.
+	YMin, YMax float64
+	// Title is printed above the chart.
+	Title string
+	// XLabel captions the x axis.
+	XLabel string
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Chart renders the series onto one ASCII canvas.
+func Chart(series []Series, opts Options) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 60
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 16
+	}
+	if width < 8 || height < 4 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Xs) != len(s.Ys) {
+			return "", fmt.Errorf("plot: series %q has %d xs but %d ys", s.Label, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			xmin = math.Min(xmin, s.Xs[i])
+			xmax = math.Max(xmax, s.Xs[i])
+			ymin = math.Min(ymin, s.Ys[i])
+			ymax = math.Max(ymax, s.Ys[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "", errors.New("plot: series contain no points")
+	}
+	if opts.YMin != opts.YMax {
+		ymin, ymax = opts.YMin, opts.YMax
+	} else if ymin == ymax {
+		ymin -= 0.5
+		ymax += 0.5
+	} else {
+		margin := (ymax - ymin) * 0.05
+		ymin -= margin
+		ymax += margin
+	}
+	if xmin == xmax {
+		xmin -= 0.5
+		xmax += 0.5
+	}
+
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", width))
+	}
+	plotX := func(x float64) int {
+		return int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+	}
+	plotY := func(y float64) int {
+		// Row 0 is the top.
+		return height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+	}
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Connect consecutive points with interpolated steps, then stamp
+		// the data points with the series marker.
+		for i := 0; i+1 < len(s.Xs); i++ {
+			x0, y0 := plotX(s.Xs[i]), plotY(s.Ys[i])
+			x1, y1 := plotX(s.Xs[i+1]), plotY(s.Ys[i+1])
+			steps := max(abs(x1-x0), abs(y1-y0))
+			for t := 0; t <= steps; t++ {
+				var cx, cy int
+				if steps == 0 {
+					cx, cy = x0, y0
+				} else {
+					cx = x0 + (x1-x0)*t/steps
+					cy = y0 + (y1-y0)*t/steps
+				}
+				cx = clamp(cx, 0, width-1)
+				cy = clamp(cy, 0, height-1)
+				if canvas[cy][cx] == ' ' {
+					canvas[cy][cx] = '.'
+				}
+			}
+		}
+		for i := range s.Xs {
+			cx := clamp(plotX(s.Xs[i]), 0, width-1)
+			cy := clamp(plotY(s.Ys[i]), 0, height-1)
+			canvas[cy][cx] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		sb.WriteString(opts.Title)
+		sb.WriteByte('\n')
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	gutter := max(len(yTop), len(yBot))
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", gutter)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", gutter, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", gutter, yBot)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.WriteString(string(canvas[r]))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", gutter))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	xAxis := fmt.Sprintf("%-*s%.4g%s%.4g", gutter+2, "", xmin,
+		strings.Repeat(" ", max(1, width-len(fmt.Sprintf("%.4g", xmin))-len(fmt.Sprintf("%.4g", xmax)))),
+		xmax)
+	sb.WriteString(xAxis)
+	if opts.XLabel != "" {
+		sb.WriteString("  (")
+		sb.WriteString(opts.XLabel)
+		sb.WriteString(")")
+	}
+	sb.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", markers[si%len(markers)], s.Label)
+		if (si+1)%4 == 0 || si == len(series)-1 {
+			sb.WriteByte('\n')
+		} else {
+			sb.WriteString("   ")
+		}
+	}
+	return sb.String(), nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

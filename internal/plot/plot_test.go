@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func line(label string, ys ...float64) Series {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return Series{Label: label, Xs: xs, Ys: ys}
+}
+
+func TestChartBasics(t *testing.T) {
+	out, err := Chart([]Series{line("up", 0, 1, 2, 3)}, Options{
+		Title:  "rising",
+		XLabel: "step",
+		Width:  20,
+		Height: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rising", "(step)", "* up", "|", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + x labels + legend.
+	if len(lines) < 6+3 {
+		t.Errorf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartMarkerPositions(t *testing.T) {
+	// A flat series at the max should put markers on the top row; at the
+	// min on the bottom row.
+	out, err := Chart([]Series{
+		line("hi", 1, 1, 1),
+		line("lo", 0, 0, 0),
+	}, Options{Width: 12, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(out, "\n")
+	if !strings.Contains(rows[0], "*") {
+		t.Errorf("top row missing 'hi' markers:\n%s", out)
+	}
+	if !strings.Contains(rows[4], "o") {
+		t.Errorf("bottom row missing 'lo' markers:\n%s", out)
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	out, err := Chart([]Series{line("s", 0.5, 0.6)}, Options{
+		Width: 12, Height: 5, YMin: 0, YMax: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 |") || !strings.Contains(out, "0 |") {
+		t.Errorf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := Chart(nil, Options{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Chart([]Series{{Label: "bad", Xs: []float64{1}, Ys: nil}}, Options{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Chart([]Series{line("s", 1)}, Options{Width: 2, Height: 2}); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+	if _, err := Chart([]Series{{Label: "empty"}}, Options{}); err == nil {
+		t.Error("pointless series accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Chart([]Series{line("c", 5, 5, 5)}, Options{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out, err := Chart([]Series{{Label: "pt", Xs: []float64{2}, Ys: []float64{3}}}, Options{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestChartManySeriesLegend(t *testing.T) {
+	series := make([]Series, 6)
+	for i := range series {
+		series[i] = line(strings.Repeat("s", i+1), float64(i), float64(i+1))
+	}
+	out, err := Chart(series, Options{Width: 30, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series {
+		if !strings.Contains(out, series[i].Label) {
+			t.Errorf("legend missing %q", series[i].Label)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Chart never panics and always renders a bounded canvas for any
+// finite input series.
+func TestChartRobustnessProperty(t *testing.T) {
+	f := func(ysRaw []float64, w, h uint8) bool {
+		ys := make([]float64, 0, len(ysRaw))
+		for _, y := range ysRaw {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			ys = append(ys, y)
+		}
+		if len(ys) == 0 {
+			return true
+		}
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		out, err := Chart([]Series{{Label: "s", Xs: xs, Ys: ys}}, Options{
+			Width:  8 + int(w)%80,
+			Height: 4 + int(h)%30,
+		})
+		if err != nil {
+			return false
+		}
+		// The marker appears and no line exceeds the canvas width plus
+		// gutter by an order of magnitude.
+		if !strings.Contains(out, "*") {
+			return false
+		}
+		for _, line := range strings.Split(out, "\n") {
+			if len(line) > 300 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

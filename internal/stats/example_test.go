@@ -1,0 +1,29 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleCDF builds the empirical distribution behind the paper's Fig. 7:
+// how late are the packets that missed their deadline?
+func ExampleCDF() {
+	lateFactors := []float64{1.1, 1.2, 1.2, 1.4, 1.9}
+	cdf := stats.NewCDF(lateFactors)
+	fmt.Printf("within 1.25x deadline: %.0f%%\n", 100*cdf.At(1.25))
+	fmt.Printf("within 1.50x deadline: %.0f%%\n", 100*cdf.At(1.5))
+	// Output:
+	// within 1.25x deadline: 60%
+	// within 1.50x deadline: 80%
+}
+
+// ExampleQuantile computes latency percentiles from a delivery sample.
+func ExampleQuantile() {
+	latenciesMS := []float64{12, 15, 18, 22, 90}
+	p50, _ := stats.Quantile(latenciesMS, 0.5)
+	p90, _ := stats.Quantile(latenciesMS, 0.9)
+	fmt.Printf("p50=%.0fms p90=%.1fms\n", p50, p90)
+	// Output:
+	// p50=18ms p90=62.8ms
+}

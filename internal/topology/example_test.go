@@ -1,0 +1,64 @@
+package topology_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func buildDiamond() *topology.Graph {
+	g := topology.NewGraph(4)
+	links := []struct {
+		u, v int
+		d    time.Duration
+	}{
+		{0, 1, 10 * time.Millisecond},
+		{1, 3, 10 * time.Millisecond},
+		{0, 2, 25 * time.Millisecond},
+		{2, 3, 25 * time.Millisecond},
+	}
+	for _, l := range links {
+		if err := g.AddLink(l.u, l.v, l.d); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// ExampleDijkstra finds the shortest-delay route across a diamond overlay.
+func ExampleDijkstra() {
+	g := buildDiamond()
+	tree := topology.Dijkstra(g, 0, nil)
+	path, err := tree.PathTo(3)
+	if err != nil {
+		panic(err)
+	}
+	delay, err := path.Delay(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("path %v, delay %v\n", []int(path), delay)
+	// Output:
+	// path [0 1 3], delay 20ms
+}
+
+// ExampleKShortestPaths enumerates alternate routes in delay order —
+// the machinery behind the Multipath baseline.
+func ExampleKShortestPaths() {
+	g := buildDiamond()
+	paths, err := topology.KShortestPaths(g, 0, 3, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range paths {
+		d, err := p.Delay(g)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v %v\n", []int(p), d)
+	}
+	// Output:
+	// [0 1 3] 20ms
+	// [0 2 3] 50ms
+}

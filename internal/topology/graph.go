@@ -1,0 +1,325 @@
+// Package topology provides the overlay-graph substrate used by the DCRD
+// simulator: an undirected weighted graph type, the paper's two topology
+// generators (full mesh and random degree-d overlays with link delays drawn
+// from U[10 ms, 50 ms]), and the path algorithms every routing approach is
+// built on — BFS hop-count trees, Dijkstra delay trees, constrained
+// Dijkstra (for the ORACLE baseline) and Yen's k-shortest loopless paths
+// (for the Multipath baseline).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Graph is an undirected overlay graph with per-link propagation delays.
+// Nodes are dense integers in [0, N). The zero value is an empty graph;
+// construct with NewGraph.
+type Graph struct {
+	n     int
+	adj   [][]Edge
+	edges int
+}
+
+// Edge is one directed half of an undirected overlay link.
+type Edge struct {
+	To    int
+	Delay time.Duration
+}
+
+// NewGraph returns an empty graph over n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of undirected links.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Neighbors returns the adjacency list of u. The returned slice is owned by
+// the graph and must not be mutated.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// AddLink adds an undirected link between u and v with the given symmetric
+// propagation delay. It returns an error for self-loops, out-of-range nodes,
+// duplicate links, or non-positive delays.
+func (g *Graph) AddLink(u, v int, delay time.Duration) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop at node %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("topology: link (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if delay <= 0 {
+		return fmt.Errorf("topology: non-positive delay %v on link (%d,%d)", delay, u, v)
+	}
+	if g.HasLink(u, v) {
+		return fmt.Errorf("topology: duplicate link (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Delay: delay})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Delay: delay})
+	g.edges++
+	return nil
+}
+
+// HasLink reports whether an undirected link between u and v exists.
+func (g *Graph) HasLink(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkDelay returns the propagation delay of link (u,v).
+// The second result reports whether the link exists.
+func (g *Graph) LinkDelay(u, v int) (time.Duration, bool) {
+	if u < 0 || u >= g.n {
+		return 0, false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.Delay, true
+		}
+	}
+	return 0, false
+}
+
+// Links returns every undirected link exactly once, with From < To.
+func (g *Graph) Links() []Link {
+	links := make([]Link, 0, g.edges)
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			if u < e.To {
+				links = append(links, Link{From: u, To: e.To, Delay: e.Delay})
+			}
+		}
+	}
+	return links
+}
+
+// Link is an undirected overlay link with From < To.
+type Link struct {
+	From, To int
+	Delay    time.Duration
+}
+
+// Canonical returns the (min, max) normalized endpoints of a node pair,
+// useful as a map key for undirected links.
+func Canonical(u, v int) (int, int) {
+	if u > v {
+		return v, u
+	}
+	return u, v
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	c.edges = g.edges
+	for u := range g.adj {
+		c.adj[u] = append([]Edge(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// DelayRange is the closed interval link delays are drawn from.
+// The paper draws from U[10 ms, 50 ms] based on AT&T backbone measurements.
+type DelayRange struct {
+	Min, Max time.Duration
+}
+
+// DefaultDelayRange is the paper's U[10 ms, 50 ms] link-delay distribution.
+func DefaultDelayRange() DelayRange {
+	return DelayRange{Min: 10 * time.Millisecond, Max: 50 * time.Millisecond}
+}
+
+// Draw samples a delay uniformly from the range.
+func (r DelayRange) Draw(rng *rand.Rand) time.Duration {
+	if r.Max <= r.Min {
+		return r.Min
+	}
+	return r.Min + time.Duration(rng.Int64N(int64(r.Max-r.Min)+1))
+}
+
+// FullMesh builds a complete graph over n nodes with link delays drawn from
+// delays using rng.
+func FullMesh(n int, delays DelayRange, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, errors.New("topology: full mesh needs at least 2 nodes")
+	}
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := g.AddLink(u, v, delays.Draw(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomRegular builds a connected random graph where every node has exactly
+// the given degree, matching the paper's "for a given link degree, we
+// randomly choose the neighboring nodes". It uses Steger–Wormald pairing —
+// repeatedly joining two random nodes with free stubs that are not yet
+// adjacent — restarting when the pairing wedges itself or the result is
+// disconnected.
+//
+// n*degree must be even and degree must satisfy 1 <= degree < n.
+func RandomRegular(n, degree int, delays DelayRange, rng *rand.Rand) (*Graph, error) {
+	if degree < 1 || degree >= n {
+		return nil, fmt.Errorf("topology: degree %d invalid for %d nodes", degree, n)
+	}
+	if n*degree%2 != 0 {
+		return nil, fmt.Errorf("topology: n*degree = %d*%d is odd", n, degree)
+	}
+	const maxAttempts = 1000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := tryRegular(n, degree, delays, rng)
+		if ok && g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: failed to build connected %d-regular graph over %d nodes", degree, n)
+}
+
+// Waxman builds a connected Waxman random graph: n nodes are placed
+// uniformly in the unit square and each pair (u,v) is linked with
+// probability alpha*exp(-dist(u,v)/(beta*sqrt(2))). Link delays are the
+// Euclidean distance mapped linearly onto the delay range, so nearby nodes
+// get fast links — the classic Internet-like topology model, offered as a
+// more realistic alternative to the paper's full-mesh/regular overlays.
+// Draws are retried until connected.
+func Waxman(n int, alpha, beta float64, delays DelayRange, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, errors.New("topology: Waxman needs at least 2 nodes")
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: Waxman parameters alpha=%v beta=%v outside (0,1]", alpha, beta)
+	}
+	const maxAttempts = 1000
+	maxDist := math.Sqrt2
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+			ys[i] = rng.Float64()
+		}
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+				dist := math.Sqrt(dx*dx + dy*dy)
+				if rng.Float64() >= alpha*math.Exp(-dist/(beta*maxDist)) {
+					continue
+				}
+				span := float64(delays.Max - delays.Min)
+				delay := delays.Min + time.Duration(dist/maxDist*span)
+				if delay <= 0 {
+					delay = delays.Min
+				}
+				if err := g.AddLink(u, v, delay); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: failed to build connected Waxman graph (n=%d, alpha=%v, beta=%v)", n, alpha, beta)
+}
+
+// tryRegular attempts one Steger–Wormald pairing. It reports false when the
+// pairing gets stuck (the remaining stubs admit no legal link).
+func tryRegular(n, degree int, delays DelayRange, rng *rand.Rand) (*Graph, bool) {
+	g := NewGraph(n)
+	free := make([]int, n) // remaining stubs per node
+	open := make([]int, n) // nodes with free stubs
+	for u := range free {
+		free[u] = degree
+		open[u] = u
+	}
+	remove := func(i int) {
+		open[i] = open[len(open)-1]
+		open = open[:len(open)-1]
+	}
+	misses := 0
+	maxMisses := 200 * n
+	for len(open) > 1 {
+		i := rng.IntN(len(open))
+		j := rng.IntN(len(open))
+		if i == j {
+			continue
+		}
+		u, v := open[i], open[j]
+		if g.HasLink(u, v) {
+			misses++
+			if misses > maxMisses {
+				return nil, false
+			}
+			continue
+		}
+		if err := g.AddLink(u, v, delays.Draw(rng)); err != nil {
+			return nil, false
+		}
+		free[u]--
+		free[v]--
+		// Remove the higher index first so the first removal does not move
+		// the second entry.
+		if i < j {
+			i, j = j, i
+		}
+		if free[open[i]] == 0 {
+			remove(i)
+		}
+		if free[open[j]] == 0 {
+			remove(j)
+		}
+		misses = 0
+	}
+	if len(open) != 0 {
+		return nil, false
+	}
+	return g, true
+}

@@ -1,0 +1,236 @@
+package topology
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testRng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xabcdef))
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := NewGraph(3)
+	tests := []struct {
+		name    string
+		u, v    int
+		delay   time.Duration
+		wantErr bool
+	}{
+		{name: "ok", u: 0, v: 1, delay: time.Millisecond, wantErr: false},
+		{name: "self-loop", u: 1, v: 1, delay: time.Millisecond, wantErr: true},
+		{name: "out-of-range", u: 0, v: 3, delay: time.Millisecond, wantErr: true},
+		{name: "negative-node", u: -1, v: 2, delay: time.Millisecond, wantErr: true},
+		{name: "duplicate", u: 1, v: 0, delay: time.Millisecond, wantErr: true},
+		{name: "zero-delay", u: 1, v: 2, delay: 0, wantErr: true},
+		{name: "negative-delay", u: 1, v: 2, delay: -time.Second, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddLink(tt.u, tt.v, tt.delay)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("AddLink(%d,%d,%v) error = %v, wantErr %v", tt.u, tt.v, tt.delay, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLinkSymmetry(t *testing.T) {
+	g := NewGraph(4)
+	if err := g.AddLink(1, 3, 25*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	d1, ok1 := g.LinkDelay(1, 3)
+	d2, ok2 := g.LinkDelay(3, 1)
+	if !ok1 || !ok2 || d1 != d2 || d1 != 25*time.Millisecond {
+		t.Errorf("asymmetric link: (%v,%v) (%v,%v)", d1, ok1, d2, ok2)
+	}
+	if !g.HasLink(3, 1) || g.HasLink(0, 2) {
+		t.Error("HasLink wrong")
+	}
+	if g.Degree(1) != 1 || g.Degree(0) != 0 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(1), g.Degree(0))
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestLinksEnumeration(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1, 10*time.Millisecond)
+	mustAdd(t, g, 2, 1, 20*time.Millisecond)
+	mustAdd(t, g, 3, 0, 30*time.Millisecond)
+	links := g.Links()
+	if len(links) != 3 {
+		t.Fatalf("Links len = %d, want 3", len(links))
+	}
+	for _, l := range links {
+		if l.From >= l.To {
+			t.Errorf("link %v not normalized", l)
+		}
+		d, ok := g.LinkDelay(l.From, l.To)
+		if !ok || d != l.Delay {
+			t.Errorf("link %v delay mismatch", l)
+		}
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v int, d time.Duration) {
+	t.Helper()
+	if err := g.AddLink(u, v, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := NewGraph(4)
+	if g.Connected() {
+		t.Error("edgeless 4-node graph reported connected")
+	}
+	mustAdd(t, g, 0, 1, time.Millisecond)
+	mustAdd(t, g, 2, 3, time.Millisecond)
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	mustAdd(t, g, 1, 2, time.Millisecond)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	if !NewGraph(1).Connected() || !NewGraph(0).Connected() {
+		t.Error("trivial graphs must be connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, time.Millisecond)
+	c := g.Clone()
+	mustAdd(t, c, 1, 2, time.Millisecond)
+	if g.HasLink(1, 2) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.HasLink(0, 1) {
+		t.Error("clone lost links")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if a, b := Canonical(5, 2); a != 2 || b != 5 {
+		t.Errorf("Canonical(5,2) = (%d,%d)", a, b)
+	}
+	if a, b := Canonical(2, 5); a != 2 || b != 5 {
+		t.Errorf("Canonical(2,5) = (%d,%d)", a, b)
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	rng := testRng(1)
+	g, err := FullMesh(20, DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 20*19/2 {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), 20*19/2)
+	}
+	for u := 0; u < 20; u++ {
+		if g.Degree(u) != 19 {
+			t.Errorf("node %d degree = %d, want 19", u, g.Degree(u))
+		}
+	}
+	if !g.Connected() {
+		t.Error("mesh not connected")
+	}
+	if _, err := FullMesh(1, DefaultDelayRange(), rng); err == nil {
+		t.Error("FullMesh(1) should fail")
+	}
+}
+
+func TestDelayRangeDraw(t *testing.T) {
+	rng := testRng(2)
+	r := DefaultDelayRange()
+	for i := 0; i < 1000; i++ {
+		d := r.Draw(rng)
+		if d < r.Min || d > r.Max {
+			t.Fatalf("delay %v outside [%v, %v]", d, r.Min, r.Max)
+		}
+	}
+	deg := DelayRange{Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+	if d := deg.Draw(rng); d != 5*time.Millisecond {
+		t.Errorf("degenerate range draw = %v", d)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := testRng(3)
+	for _, tt := range []struct{ n, degree int }{
+		{20, 3}, {20, 5}, {20, 8}, {10, 4}, {40, 8},
+	} {
+		g, err := RandomRegular(tt.n, tt.degree, DefaultDelayRange(), rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tt.n, tt.degree, err)
+		}
+		for u := 0; u < tt.n; u++ {
+			if g.Degree(u) != tt.degree {
+				t.Errorf("n=%d d=%d: node %d degree = %d", tt.n, tt.degree, u, g.Degree(u))
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("n=%d d=%d: not connected", tt.n, tt.degree)
+		}
+	}
+}
+
+func TestRandomRegularRejectsBadArgs(t *testing.T) {
+	rng := testRng(4)
+	if _, err := RandomRegular(20, 0, DefaultDelayRange(), rng); err == nil {
+		t.Error("degree 0 should fail")
+	}
+	if _, err := RandomRegular(20, 20, DefaultDelayRange(), rng); err == nil {
+		t.Error("degree >= n should fail")
+	}
+	if _, err := RandomRegular(5, 3, DefaultDelayRange(), rng); err == nil {
+		t.Error("odd n*degree should fail")
+	}
+}
+
+// Property: every RandomRegular draw is simple, connected and exactly
+// regular for random valid parameters.
+func TestRandomRegularProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := 6 + 2*(int(nRaw)%16) // even 6..36
+		d := 3 + int(dRaw)%4      // 3..6
+		if d >= n {
+			return true
+		}
+		if n*d%2 != 0 {
+			d++ // keep n*d even; n even makes any d fine, this is belt and braces
+		}
+		rng := testRng(seed)
+		g, err := RandomRegular(n, d, DefaultDelayRange(), rng)
+		if err != nil {
+			return false
+		}
+		if !g.Connected() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if g.Degree(u) != d {
+				return false
+			}
+			seen := map[int]bool{u: true}
+			for _, e := range g.Neighbors(u) {
+				if seen[e.To] {
+					return false // self-loop or parallel edge
+				}
+				seen[e.To] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+package topology
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Infinite is the sentinel distance for unreachable nodes.
+const Infinite = time.Duration(math.MaxInt64)
+
+// Path is a node sequence from source to destination (inclusive).
+type Path []int
+
+// ErrNoPath is returned when no path exists between the requested endpoints.
+var ErrNoPath = errors.New("topology: no path")
+
+// Delay returns the total propagation delay along the path in g. It returns
+// an error if a consecutive pair on the path is not a link of g.
+func (p Path) Delay(g *Graph) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i+1 < len(p); i++ {
+		d, ok := g.LinkDelay(p[i], p[i+1])
+		if !ok {
+			return 0, fmt.Errorf("topology: path uses missing link (%d,%d)", p[i], p[i+1])
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// Hops returns the number of links on the path.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Equal reports whether two paths visit the same node sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedLinks counts undirected links present on both paths.
+func (p Path) SharedLinks(q Path) int {
+	type link struct{ a, b int }
+	set := make(map[link]bool, len(p))
+	for i := 0; i+1 < len(p); i++ {
+		a, b := Canonical(p[i], p[i+1])
+		set[link{a, b}] = true
+	}
+	shared := 0
+	for i := 0; i+1 < len(q); i++ {
+		a, b := Canonical(q[i], q[i+1])
+		if set[link{a, b}] {
+			shared++
+		}
+	}
+	return shared
+}
+
+// ShortestPathTree holds single-source shortest-path results: per-node
+// distance and predecessor. Dist is Infinite (and Parent -1) for
+// unreachable nodes; Parent[src] is -1.
+type ShortestPathTree struct {
+	Source int
+	Dist   []time.Duration
+	Parent []int
+}
+
+// PathTo reconstructs the path from the tree's source to dst.
+func (t *ShortestPathTree) PathTo(dst int) (Path, error) {
+	if dst < 0 || dst >= len(t.Dist) || t.Dist[dst] == Infinite {
+		return nil, ErrNoPath
+	}
+	var rev []int
+	for v := dst; v != -1; v = t.Parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if rev[0] != t.Source {
+		return nil, ErrNoPath
+	}
+	return rev, nil
+}
+
+// NextHop returns the first hop on the tree path from the source toward dst,
+// or -1 if dst is the source or unreachable.
+func (t *ShortestPathTree) NextHop(dst int) int {
+	if dst == t.Source || dst < 0 || dst >= len(t.Dist) || t.Dist[dst] == Infinite {
+		return -1
+	}
+	v := dst
+	for t.Parent[v] != t.Source {
+		v = t.Parent[v]
+	}
+	return v
+}
+
+// LinkFilter restricts which links an algorithm may traverse.
+// A nil LinkFilter admits every link.
+type LinkFilter func(u, v int) bool
+
+// Dijkstra computes shortest-delay paths from src over links admitted by
+// filter (nil means all links).
+func Dijkstra(g *Graph, src int, filter LinkFilter) *ShortestPathTree {
+	n := g.N()
+	t := &ShortestPathTree{
+		Source: src,
+		Dist:   make([]time.Duration, n),
+		Parent: make([]int, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Infinite
+		t.Parent[i] = -1
+	}
+	if src < 0 || src >= n {
+		return t
+	}
+	t.Dist[src] = 0
+	pq := &distQueue{}
+	heap.Push(pq, distItem{node: src, dist: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > t.Dist[it.node] {
+			continue
+		}
+		for _, e := range g.Neighbors(it.node) {
+			if filter != nil && !filter(it.node, e.To) {
+				continue
+			}
+			nd := it.dist + e.Delay
+			if nd < t.Dist[e.To] {
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = it.node
+				heap.Push(pq, distItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// BFS computes shortest-hop-count paths from src, breaking ties between
+// equal-hop predecessors by smaller accumulated delay so the resulting
+// "most reliable tree" is deterministic.
+func BFS(g *Graph, src int) *ShortestPathTree {
+	n := g.N()
+	t := &ShortestPathTree{
+		Source: src,
+		Dist:   make([]time.Duration, n),
+		Parent: make([]int, n),
+	}
+	hops := make([]int, n)
+	delay := make([]time.Duration, n)
+	for i := range t.Dist {
+		t.Dist[i] = Infinite
+		t.Parent[i] = -1
+		hops[i] = math.MaxInt
+		delay[i] = Infinite
+	}
+	if src < 0 || src >= n {
+		return t
+	}
+	hops[src] = 0
+	delay[src] = 0
+	t.Dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			nh := hops[u] + 1
+			nd := delay[u] + e.Delay
+			switch {
+			case nh < hops[e.To]:
+				hops[e.To] = nh
+				delay[e.To] = nd
+				t.Parent[e.To] = u
+				t.Dist[e.To] = nd
+				queue = append(queue, e.To)
+			case nh == hops[e.To] && nd < delay[e.To]:
+				delay[e.To] = nd
+				t.Parent[e.To] = u
+				t.Dist[e.To] = nd
+			}
+		}
+	}
+	return t
+}
+
+// KShortestPaths returns up to k loopless shortest-delay paths from src to
+// dst in increasing delay order, using Yen's algorithm. It returns ErrNoPath
+// when src cannot reach dst at all.
+func KShortestPaths(g *Graph, src, dst, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first := Dijkstra(g, src, nil)
+	best, err := first.PathTo(dst)
+	if err != nil {
+		return nil, ErrNoPath
+	}
+	paths := []Path{best}
+	type candidate struct {
+		path  Path
+		delay time.Duration
+	}
+	var candidates []candidate
+
+	haveCandidate := func(p Path) bool {
+		for _, c := range candidates {
+			if c.path.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+	havePath := func(p Path) bool {
+		for _, q := range paths {
+			if q.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Spur from every node of the previous path except dst.
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			// Links removed: the next link of every accepted path sharing
+			// this root prefix.
+			type link struct{ a, b int }
+			removed := make(map[link]bool)
+			for _, p := range paths {
+				if len(p) > i && Path(p[:i+1]).Equal(rootPath) && len(p) > i+1 {
+					a, b := Canonical(p[i], p[i+1])
+					removed[link{a, b}] = true
+				}
+			}
+			// Nodes on the root path (except the spur node) are excluded.
+			excluded := make(map[int]bool, i)
+			for _, v := range rootPath[:len(rootPath)-1] {
+				excluded[v] = true
+			}
+			filter := func(u, v int) bool {
+				if excluded[u] || excluded[v] {
+					return false
+				}
+				a, b := Canonical(u, v)
+				return !removed[link{a, b}]
+			}
+			spurTree := Dijkstra(g, spurNode, filter)
+			spurPath, err := spurTree.PathTo(dst)
+			if err != nil {
+				continue
+			}
+			total := make(Path, 0, len(rootPath)-1+len(spurPath))
+			total = append(total, rootPath[:len(rootPath)-1]...)
+			total = append(total, spurPath...)
+			if havePath(total) || haveCandidate(total) {
+				continue
+			}
+			d, derr := total.Delay(g)
+			if derr != nil {
+				continue
+			}
+			candidates = append(candidates, candidate{path: total, delay: d})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].delay != candidates[b].delay {
+				return candidates[a].delay < candidates[b].delay
+			}
+			return len(candidates[a].path) < len(candidates[b].path)
+		})
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+type distItem struct {
+	node int
+	dist time.Duration
+}
+
+type distQueue []distItem
+
+func (q distQueue) Len() int           { return len(q) }
+func (q distQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q distQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x any)        { *q = append(*q, x.(distItem)) }
+func (q *distQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,315 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// lineGraph builds 0-1-2-...-n-1 with the given per-hop delays.
+func lineGraph(t *testing.T, delays ...time.Duration) *Graph {
+	t.Helper()
+	g := NewGraph(len(delays) + 1)
+	for i, d := range delays {
+		mustAdd(t, g, i, i+1, d)
+	}
+	return g
+}
+
+// diamondGraph: 0-1 (10ms), 0-2 (40ms), 1-3 (10ms), 2-3 (10ms), 1-2 (5ms).
+// Shortest 0->3 by delay: 0-1-3 (20ms); by hops also 2.
+func diamondGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1, 10*time.Millisecond)
+	mustAdd(t, g, 0, 2, 40*time.Millisecond)
+	mustAdd(t, g, 1, 3, 10*time.Millisecond)
+	mustAdd(t, g, 2, 3, 10*time.Millisecond)
+	mustAdd(t, g, 1, 2, 5*time.Millisecond)
+	return g
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(t, 10*time.Millisecond, 20*time.Millisecond, 30*time.Millisecond)
+	tr := Dijkstra(g, 0, nil)
+	wantDist := []time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond, 60 * time.Millisecond}
+	for i, want := range wantDist {
+		if tr.Dist[i] != want {
+			t.Errorf("Dist[%d] = %v, want %v", i, tr.Dist[i], want)
+		}
+	}
+	p, err := tr.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Path{0, 1, 2, 3}) {
+		t.Errorf("path = %v", p)
+	}
+	if nh := tr.NextHop(3); nh != 1 {
+		t.Errorf("NextHop(3) = %d, want 1", nh)
+	}
+	if nh := tr.NextHop(0); nh != -1 {
+		t.Errorf("NextHop(source) = %d, want -1", nh)
+	}
+}
+
+func TestDijkstraPrefersLowDelayMultiHop(t *testing.T) {
+	g := diamondGraph(t)
+	tr := Dijkstra(g, 0, nil)
+	p, err := tr.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Path{0, 1, 3}) {
+		t.Errorf("path = %v, want 0-1-3", p)
+	}
+	if tr.Dist[3] != 20*time.Millisecond {
+		t.Errorf("Dist[3] = %v, want 20ms", tr.Dist[3])
+	}
+	// Node 2 is cheaper via 1: 0-1-2 = 15ms < direct 40ms.
+	if tr.Dist[2] != 15*time.Millisecond {
+		t.Errorf("Dist[2] = %v, want 15ms", tr.Dist[2])
+	}
+}
+
+func TestDijkstraFilter(t *testing.T) {
+	g := diamondGraph(t)
+	blocked := func(u, v int) bool {
+		a, b := Canonical(u, v)
+		return !(a == 0 && b == 1) // remove link 0-1
+	}
+	tr := Dijkstra(g, 0, blocked)
+	p, err := tr.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] == 1 {
+		t.Errorf("path %v uses removed link 0-1", p)
+	}
+	// Best without 0-1: 0-2-3 = 50ms vs 0-2-1-3... 0-2=40, 2-1=5, 1-3=10 -> 55. So 0-2-3.
+	if tr.Dist[3] != 50*time.Millisecond {
+		t.Errorf("Dist[3] = %v, want 50ms", tr.Dist[3])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, time.Millisecond)
+	tr := Dijkstra(g, 0, nil)
+	if tr.Dist[2] != Infinite {
+		t.Errorf("Dist[2] = %v, want Infinite", tr.Dist[2])
+	}
+	if _, err := tr.PathTo(2); err != ErrNoPath {
+		t.Errorf("PathTo(2) error = %v, want ErrNoPath", err)
+	}
+	if nh := tr.NextHop(2); nh != -1 {
+		t.Errorf("NextHop(unreachable) = %d, want -1", nh)
+	}
+}
+
+func TestBFSMinimizesHops(t *testing.T) {
+	// 0-3 direct (90ms) vs 0-1-2-3 (10+10+10). BFS must pick the 1-hop path
+	// even though it is slower; Dijkstra must pick the 3-hop path.
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 3, 90*time.Millisecond)
+	mustAdd(t, g, 0, 1, 10*time.Millisecond)
+	mustAdd(t, g, 1, 2, 10*time.Millisecond)
+	mustAdd(t, g, 2, 3, 10*time.Millisecond)
+
+	bfs := BFS(g, 0)
+	p, err := bfs.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Path{0, 3}) {
+		t.Errorf("BFS path = %v, want direct 0-3", p)
+	}
+
+	dj := Dijkstra(g, 0, nil)
+	p, err = dj.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Path{0, 1, 2, 3}) {
+		t.Errorf("Dijkstra path = %v, want 0-1-2-3", p)
+	}
+}
+
+func TestBFSTieBreaksOnDelay(t *testing.T) {
+	// Two 2-hop routes 0->3: via 1 (10+10) and via 2 (5+5). Equal hops, BFS
+	// should record the lower-delay parent.
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1, 10*time.Millisecond)
+	mustAdd(t, g, 1, 3, 10*time.Millisecond)
+	mustAdd(t, g, 0, 2, 5*time.Millisecond)
+	mustAdd(t, g, 2, 3, 5*time.Millisecond)
+	tr := BFS(g, 0)
+	p, err := tr.PathTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Path{0, 2, 3}) {
+		t.Errorf("BFS tie-break path = %v, want 0-2-3", p)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g := diamondGraph(t)
+	p := Path{0, 1, 3}
+	d, err := p.Delay(g)
+	if err != nil || d != 20*time.Millisecond {
+		t.Errorf("Delay = %v, %v", d, err)
+	}
+	if p.Hops() != 2 {
+		t.Errorf("Hops = %d", p.Hops())
+	}
+	if (Path{}).Hops() != 0 {
+		t.Error("empty path hops != 0")
+	}
+	if _, err := (Path{0, 3}).Delay(g); err == nil {
+		t.Error("Delay over missing link should fail")
+	}
+	q := Path{0, 2, 3}
+	if p.SharedLinks(q) != 0 {
+		t.Errorf("SharedLinks = %d, want 0", p.SharedLinks(q))
+	}
+	if p.SharedLinks(Path{3, 1, 0}) != 2 { // reversed direction still shares links
+		t.Errorf("reversed SharedLinks = %d, want 2", p.SharedLinks(Path{3, 1, 0}))
+	}
+	if !p.Equal(Path{0, 1, 3}) || p.Equal(q) || p.Equal(Path{0, 1}) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	g := diamondGraph(t)
+	paths, err := KShortestPaths(g, 0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths: %v", len(paths), paths)
+	}
+	// Enumerate all loopless 0->3 paths and their delays:
+	// 0-1-3: 20ms; 0-1-2-3: 25ms; 0-2-3: 50ms; 0-2-1-3: 55ms.
+	want := []Path{{0, 1, 3}, {0, 1, 2, 3}, {0, 2, 3}, {0, 2, 1, 3}}
+	for i := range want {
+		if !paths[i].Equal(want[i]) {
+			t.Errorf("paths[%d] = %v, want %v", i, paths[i], want[i])
+		}
+	}
+	var prev time.Duration
+	for i, p := range paths {
+		d, err := p.Delay(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < prev {
+			t.Errorf("paths out of delay order at %d", i)
+		}
+		prev = d
+	}
+}
+
+func TestKShortestPathsLooplessAndDistinct(t *testing.T) {
+	rng := testRng(5)
+	g, err := RandomRegular(12, 4, DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := KShortestPaths(g, 0, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for i, p := range paths {
+		seen := make(map[int]bool)
+		for _, v := range p {
+			if seen[v] {
+				t.Errorf("path %d has a loop: %v", i, p)
+			}
+			seen[v] = true
+		}
+		if p[0] != 0 || p[len(p)-1] != 7 {
+			t.Errorf("path %d endpoints wrong: %v", i, p)
+		}
+		for j := 0; j < i; j++ {
+			if p.Equal(paths[j]) {
+				t.Errorf("paths %d and %d identical: %v", i, j, p)
+			}
+		}
+	}
+}
+
+func TestKShortestPathsNoPath(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, time.Millisecond)
+	if _, err := KShortestPaths(g, 0, 2, 3); err != ErrNoPath {
+		t.Errorf("error = %v, want ErrNoPath", err)
+	}
+	paths, err := KShortestPaths(g, 0, 1, 0)
+	if err != nil || paths != nil {
+		t.Errorf("k=0 should be (nil, nil), got (%v, %v)", paths, err)
+	}
+}
+
+func TestKShortestFirstMatchesDijkstra(t *testing.T) {
+	rng := testRng(6)
+	g, err := RandomRegular(16, 5, DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Dijkstra(g, 2, nil)
+	for dst := 0; dst < 16; dst++ {
+		if dst == 2 {
+			continue
+		}
+		paths, err := KShortestPaths(g, 2, dst, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := paths[0].Delay(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != tr.Dist[dst] {
+			t.Errorf("dst %d: Yen first path delay %v != Dijkstra %v", dst, d, tr.Dist[dst])
+		}
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over links —
+// dist[v] <= dist[u] + delay(u,v) for every link — and every parent pointer
+// is tight (dist[v] == dist[parent]+delay).
+func TestDijkstraRelaxationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRng(seed)
+		g, err := RandomRegular(14, 4, DefaultDelayRange(), rng)
+		if err != nil {
+			return false
+		}
+		tr := Dijkstra(g, int(seed%14), nil)
+		for u := 0; u < g.N(); u++ {
+			for _, e := range g.Neighbors(u) {
+				if tr.Dist[u] == Infinite {
+					continue
+				}
+				if tr.Dist[e.To] > tr.Dist[u]+e.Delay {
+					return false
+				}
+			}
+			if p := tr.Parent[u]; p != -1 {
+				d, ok := g.LinkDelay(p, u)
+				if !ok || tr.Dist[u] != tr.Dist[p]+d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaxmanBasics(t *testing.T) {
+	rng := testRng(61)
+	g, err := Waxman(30, 0.9, 0.5, DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 {
+		t.Errorf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Error("Waxman graph not connected")
+	}
+	if g.NumEdges() == 0 || g.NumEdges() == 30*29/2 {
+		t.Errorf("edges = %d, expected a sparse but non-empty graph", g.NumEdges())
+	}
+	r := DefaultDelayRange()
+	for _, l := range g.Links() {
+		if l.Delay < r.Min || l.Delay > r.Max {
+			t.Errorf("link delay %v outside [%v,%v]", l.Delay, r.Min, r.Max)
+		}
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	rng := testRng(62)
+	cases := []struct {
+		n           int
+		alpha, beta float64
+	}{
+		{1, 0.5, 0.5},
+		{10, 0, 0.5},
+		{10, 1.5, 0.5},
+		{10, 0.5, 0},
+		{10, 0.5, 2},
+	}
+	for _, c := range cases {
+		if _, err := Waxman(c.n, c.alpha, c.beta, DefaultDelayRange(), rng); err == nil {
+			t.Errorf("Waxman(%d, %v, %v) accepted", c.n, c.alpha, c.beta)
+		}
+	}
+}
+
+func TestWaxmanSparserWithLowerAlpha(t *testing.T) {
+	// Average over draws: alpha scales link probability, so edges should
+	// drop markedly from alpha=0.9 to alpha=0.3.
+	count := func(alpha float64, seed uint64) int {
+		total := 0
+		for i := 0; i < 10; i++ {
+			g, err := Waxman(25, alpha, 0.6, DefaultDelayRange(), testRng(seed+uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += g.NumEdges()
+		}
+		return total
+	}
+	dense := count(0.9, 100)
+	sparse := count(0.3, 200)
+	if sparse >= dense {
+		t.Errorf("alpha=0.3 gave %d edges vs alpha=0.9's %d", sparse, dense)
+	}
+}
+
+// Property: every successful Waxman draw is simple, connected, and delays
+// grow with distance (nearby pairs never get the max delay unless at the
+// range edge — checked indirectly via the delay bound).
+func TestWaxmanProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRng(seed)
+		g, err := Waxman(15, 0.8, 0.7, DefaultDelayRange(), rng)
+		if err != nil {
+			return false
+		}
+		if !g.Connected() {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			seen := map[int]bool{u: true}
+			for _, e := range g.Neighbors(u) {
+				if seen[e.To] {
+					return false
+				}
+				seen[e.To] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

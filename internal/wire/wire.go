@@ -1,0 +1,772 @@
+// Package wire defines the binary protocol spoken between live DCRD brokers
+// and their clients (internal/broker, cmd/dcrd-*): length-prefixed frames
+// with a one-byte type tag and big-endian fixed-width fields.
+//
+// Frame layout on the wire:
+//
+//	uint32  payload length (not counting the length field itself)
+//	uint8   message type
+//	...     type-specific fields
+//
+// Strings and byte blobs are encoded as uint32 length + bytes. Node lists
+// are uint16 count + int32 entries. The protocol is deliberately simple —
+// fixed encodings, no varints, no compression — so a broker can be
+// implemented in any language from this file alone.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Type tags every message on the wire.
+type Type uint8
+
+// Message types.
+const (
+	// TypeHello introduces a broker (or client) after dialing.
+	TypeHello Type = iota + 1
+	// TypeData carries one routed packet copy between brokers.
+	TypeData
+	// TypeAck acknowledges a TypeData frame hop-by-hop.
+	TypeAck
+	// TypeAdvert shares <d, r> parameters for one (topic, subscriber
+	// broker) pair with a neighbor (Algorithm 1's parameter exchange).
+	TypeAdvert
+	// TypePing and TypePong measure link round-trip times for alpha.
+	TypePing
+	TypePong
+	// TypeSubscribe registers a client's topic subscription at its broker.
+	TypeSubscribe
+	// TypeUnsubscribe removes a client's topic subscription.
+	TypeUnsubscribe
+	// TypePublish submits a client's message to its broker.
+	TypePublish
+	// TypeDeliver hands a message to a subscribed client.
+	TypeDeliver
+	// TypeStatsRequest asks a broker for its operational state.
+	TypeStatsRequest
+	// TypeStatsReply answers a TypeStatsRequest.
+	TypeStatsReply
+)
+
+// String returns the message type name.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeData:
+		return "DATA"
+	case TypeAck:
+		return "ACK"
+	case TypeAdvert:
+		return "ADVERT"
+	case TypePing:
+		return "PING"
+	case TypePong:
+		return "PONG"
+	case TypeSubscribe:
+		return "SUBSCRIBE"
+	case TypeUnsubscribe:
+		return "UNSUBSCRIBE"
+	case TypePublish:
+		return "PUBLISH"
+	case TypeDeliver:
+		return "DELIVER"
+	case TypeStatsRequest:
+		return "STATS_REQUEST"
+	case TypeStatsReply:
+		return "STATS_REPLY"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// MaxFrameSize bounds a single frame; larger frames are rejected to protect
+// brokers from corrupt peers.
+const MaxFrameSize = 16 << 20
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+	ErrTruncated     = errors.New("wire: truncated message")
+)
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Type returns the message's wire tag.
+	Type() Type
+	encode(*bytes.Buffer)
+	decode(*reader) error
+}
+
+// Hello introduces the dialing peer.
+type Hello struct {
+	// BrokerID is the sender's broker ID, or -1 for clients.
+	BrokerID int32
+	// Name is a free-form peer name (client identifier, broker label).
+	Name string
+}
+
+// Data carries one routed copy of a published packet.
+type Data struct {
+	FrameID     uint64
+	PacketID    uint64
+	Topic       int32
+	Source      int32 // publishing broker
+	PublishedAt time.Time
+	Deadline    time.Duration // QoS requirement relative to PublishedAt
+	Dests       []int32       // destination broker IDs this copy serves
+	Path        []int32       // routing path: brokers that sent this copy
+	Payload     []byte
+}
+
+// Ack acknowledges a Data frame hop-by-hop.
+type Ack struct {
+	FrameID uint64
+}
+
+// Advert shares one (topic, subscriber broker) <d, r> estimate.
+type Advert struct {
+	Topic int32
+	Sub   int32 // subscriber broker ID
+	D     time.Duration
+	R     float64
+	// Deadline is the subscriber's QoS delay requirement, propagated so
+	// upstream brokers can run the Algorithm-1 admission filter.
+	Deadline time.Duration
+	// Gone marks a withdrawn route (subscriber unsubscribed or became
+	// unreachable); receivers must treat the pair as unreachable.
+	Gone bool
+}
+
+// Ping/Pong measure link RTT. Token echoes back verbatim.
+type Ping struct {
+	Token uint64
+}
+
+// Pong answers a Ping.
+type Pong struct {
+	Token uint64
+}
+
+// Subscribe registers a client subscription.
+type Subscribe struct {
+	Topic int32
+	// Deadline is the client's QoS delay requirement for this topic.
+	Deadline time.Duration
+}
+
+// Unsubscribe removes a client's subscription to a topic.
+type Unsubscribe struct {
+	Topic int32
+}
+
+// Publish submits a message from a client.
+type Publish struct {
+	Topic    int32
+	Deadline time.Duration // requested QoS bound; 0 means broker default
+	Payload  []byte
+}
+
+// Deliver hands a routed message to a subscribed client.
+type Deliver struct {
+	Topic       int32
+	PacketID    uint64
+	Source      int32
+	PublishedAt time.Time
+	Payload     []byte
+}
+
+// StatsRequest asks a broker for a StatsReply. Token echoes back so
+// clients can correlate replies.
+type StatsRequest struct {
+	Token uint64
+}
+
+// NeighborStat is one overlay link's live state.
+type NeighborStat struct {
+	ID        int32
+	Connected bool
+	Alpha     time.Duration
+	Gamma     float64
+}
+
+// RouteStat is one (topic, subscriber broker) routing-table entry.
+type RouteStat struct {
+	Topic   int32
+	Sub     int32
+	D       time.Duration
+	R       float64
+	ListLen int32
+}
+
+// StatsReply reports a broker's operational state.
+type StatsReply struct {
+	Token     uint64
+	BrokerID  int32
+	Published uint64
+	Delivered uint64
+	Forwarded uint64
+	Dropped   uint64
+	Neighbors []NeighborStat
+	Routes    []RouteStat
+}
+
+// interface conformance
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*Data)(nil)
+	_ Message = (*Ack)(nil)
+	_ Message = (*Advert)(nil)
+	_ Message = (*Ping)(nil)
+	_ Message = (*Pong)(nil)
+	_ Message = (*Subscribe)(nil)
+	_ Message = (*Unsubscribe)(nil)
+	_ Message = (*Publish)(nil)
+	_ Message = (*Deliver)(nil)
+	_ Message = (*StatsRequest)(nil)
+	_ Message = (*StatsReply)(nil)
+)
+
+// Type implementations.
+func (*Hello) Type() Type        { return TypeHello }
+func (*Data) Type() Type         { return TypeData }
+func (*Ack) Type() Type          { return TypeAck }
+func (*Advert) Type() Type       { return TypeAdvert }
+func (*Ping) Type() Type         { return TypePing }
+func (*Pong) Type() Type         { return TypePong }
+func (*Subscribe) Type() Type    { return TypeSubscribe }
+func (*Unsubscribe) Type() Type  { return TypeUnsubscribe }
+func (*Publish) Type() Type      { return TypePublish }
+func (*Deliver) Type() Type      { return TypeDeliver }
+func (*StatsRequest) Type() Type { return TypeStatsRequest }
+func (*StatsReply) Type() Type   { return TypeStatsReply }
+
+// Write encodes msg and writes one frame to w.
+func Write(w io.Writer, msg Message) error {
+	var body bytes.Buffer
+	body.WriteByte(byte(msg.Type()))
+	msg.encode(&body)
+	if body.Len() > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(body.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// Read reads one frame from r and decodes it.
+func Read(r io.Reader) (Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if size == 0 {
+		return nil, ErrTruncated
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	msg, err := newMessage(Type(body[0]))
+	if err != nil {
+		return nil, err
+	}
+	rd := &reader{buf: body[1:]}
+	if err := msg.decode(rd); err != nil {
+		return nil, err
+	}
+	if len(rd.buf) != 0 {
+		return nil, fmt.Errorf("wire: %v has %d trailing bytes", msg.Type(), len(rd.buf))
+	}
+	return msg, nil
+}
+
+// newMessage allocates the message struct for a wire tag.
+func newMessage(t Type) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeData:
+		return &Data{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeAdvert:
+		return &Advert{}, nil
+	case TypePing:
+		return &Ping{}, nil
+	case TypePong:
+		return &Pong{}, nil
+	case TypeSubscribe:
+		return &Subscribe{}, nil
+	case TypeUnsubscribe:
+		return &Unsubscribe{}, nil
+	case TypePublish:
+		return &Publish{}, nil
+	case TypeDeliver:
+		return &Deliver{}, nil
+	case TypeStatsRequest:
+		return &StatsRequest{}, nil
+	case TypeStatsReply:
+		return &StatsReply{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+}
+
+// --- primitive encoders ---
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putI64(b *bytes.Buffer, v int64) { putU64(b, uint64(v)) }
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putI32(b *bytes.Buffer, v int32) { putU32(b, uint32(v)) }
+
+func putU16(b *bytes.Buffer, v uint16) {
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putF64(b *bytes.Buffer, v float64) { putU64(b, math.Float64bits(v)) }
+
+func putBool(b *bytes.Buffer, v bool) {
+	if v {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+}
+
+func putBytes(b *bytes.Buffer, v []byte) {
+	putU32(b, uint32(len(v)))
+	b.Write(v)
+}
+
+func putString(b *bytes.Buffer, v string) { putBytes(b, []byte(v)) }
+
+func putNodes(b *bytes.Buffer, nodes []int32) {
+	putU16(b, uint16(len(nodes)))
+	for _, n := range nodes {
+		putI32(b, n)
+	}
+}
+
+// reader decodes primitives with bounds checking.
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if len(r.buf) < n {
+		return nil, ErrTruncated
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) i32() (int32, error) {
+	v, err := r.u32()
+	return int32(v), err
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) boolean() (bool, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return false, err
+	}
+	return b[0] != 0, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if uint64(n) > uint64(len(r.buf)) {
+		return nil, ErrTruncated
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) nodes() ([]int32, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if int(n)*4 > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]int32, n)
+	for i := range out {
+		v, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// --- per-message codecs ---
+
+func (m *Hello) encode(b *bytes.Buffer) {
+	putI32(b, m.BrokerID)
+	putString(b, m.Name)
+}
+
+func (m *Hello) decode(r *reader) (err error) {
+	if m.BrokerID, err = r.i32(); err != nil {
+		return err
+	}
+	m.Name, err = r.str()
+	return err
+}
+
+func (m *Data) encode(b *bytes.Buffer) {
+	putU64(b, m.FrameID)
+	putU64(b, m.PacketID)
+	putI32(b, m.Topic)
+	putI32(b, m.Source)
+	putI64(b, m.PublishedAt.UnixNano())
+	putI64(b, int64(m.Deadline))
+	putNodes(b, m.Dests)
+	putNodes(b, m.Path)
+	putBytes(b, m.Payload)
+}
+
+func (m *Data) decode(r *reader) (err error) {
+	if m.FrameID, err = r.u64(); err != nil {
+		return err
+	}
+	if m.PacketID, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	if m.Source, err = r.i32(); err != nil {
+		return err
+	}
+	ns, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.PublishedAt = time.Unix(0, ns)
+	dl, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.Deadline = time.Duration(dl)
+	if m.Dests, err = r.nodes(); err != nil {
+		return err
+	}
+	if m.Path, err = r.nodes(); err != nil {
+		return err
+	}
+	m.Payload, err = r.bytes()
+	return err
+}
+
+func (m *Ack) encode(b *bytes.Buffer) { putU64(b, m.FrameID) }
+
+func (m *Ack) decode(r *reader) (err error) {
+	m.FrameID, err = r.u64()
+	return err
+}
+
+func (m *Advert) encode(b *bytes.Buffer) {
+	putI32(b, m.Topic)
+	putI32(b, m.Sub)
+	putI64(b, int64(m.D))
+	putF64(b, m.R)
+	putI64(b, int64(m.Deadline))
+	putBool(b, m.Gone)
+}
+
+func (m *Advert) decode(r *reader) (err error) {
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	if m.Sub, err = r.i32(); err != nil {
+		return err
+	}
+	d, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.D = time.Duration(d)
+	if m.R, err = r.f64(); err != nil {
+		return err
+	}
+	dl, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.Deadline = time.Duration(dl)
+	m.Gone, err = r.boolean()
+	return err
+}
+
+func (m *Ping) encode(b *bytes.Buffer) { putU64(b, m.Token) }
+
+func (m *Ping) decode(r *reader) (err error) {
+	m.Token, err = r.u64()
+	return err
+}
+
+func (m *Pong) encode(b *bytes.Buffer) { putU64(b, m.Token) }
+
+func (m *Pong) decode(r *reader) (err error) {
+	m.Token, err = r.u64()
+	return err
+}
+
+func (m *Subscribe) encode(b *bytes.Buffer) {
+	putI32(b, m.Topic)
+	putI64(b, int64(m.Deadline))
+}
+
+func (m *Subscribe) decode(r *reader) (err error) {
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	d, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.Deadline = time.Duration(d)
+	return nil
+}
+
+func (m *Unsubscribe) encode(b *bytes.Buffer) { putI32(b, m.Topic) }
+
+func (m *Unsubscribe) decode(r *reader) (err error) {
+	m.Topic, err = r.i32()
+	return err
+}
+
+func (m *Publish) encode(b *bytes.Buffer) {
+	putI32(b, m.Topic)
+	putI64(b, int64(m.Deadline))
+	putBytes(b, m.Payload)
+}
+
+func (m *Publish) decode(r *reader) (err error) {
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	d, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.Deadline = time.Duration(d)
+	m.Payload, err = r.bytes()
+	return err
+}
+
+func (m *StatsRequest) encode(b *bytes.Buffer) { putU64(b, m.Token) }
+
+func (m *StatsRequest) decode(r *reader) (err error) {
+	m.Token, err = r.u64()
+	return err
+}
+
+func (m *StatsReply) encode(b *bytes.Buffer) {
+	putU64(b, m.Token)
+	putI32(b, m.BrokerID)
+	putU64(b, m.Published)
+	putU64(b, m.Delivered)
+	putU64(b, m.Forwarded)
+	putU64(b, m.Dropped)
+	putU16(b, uint16(len(m.Neighbors)))
+	for _, n := range m.Neighbors {
+		putI32(b, n.ID)
+		putBool(b, n.Connected)
+		putI64(b, int64(n.Alpha))
+		putF64(b, n.Gamma)
+	}
+	putU16(b, uint16(len(m.Routes)))
+	for _, rt := range m.Routes {
+		putI32(b, rt.Topic)
+		putI32(b, rt.Sub)
+		putI64(b, int64(rt.D))
+		putF64(b, rt.R)
+		putI32(b, rt.ListLen)
+	}
+}
+
+func (m *StatsReply) decode(r *reader) (err error) {
+	if m.Token, err = r.u64(); err != nil {
+		return err
+	}
+	if m.BrokerID, err = r.i32(); err != nil {
+		return err
+	}
+	if m.Published, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Delivered, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Forwarded, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Dropped, err = r.u64(); err != nil {
+		return err
+	}
+	nn, err := r.u16()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nn); i++ {
+		var ns NeighborStat
+		if ns.ID, err = r.i32(); err != nil {
+			return err
+		}
+		if ns.Connected, err = r.boolean(); err != nil {
+			return err
+		}
+		alpha, err := r.i64()
+		if err != nil {
+			return err
+		}
+		ns.Alpha = time.Duration(alpha)
+		if ns.Gamma, err = r.f64(); err != nil {
+			return err
+		}
+		m.Neighbors = append(m.Neighbors, ns)
+	}
+	nr, err := r.u16()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nr); i++ {
+		var rt RouteStat
+		if rt.Topic, err = r.i32(); err != nil {
+			return err
+		}
+		if rt.Sub, err = r.i32(); err != nil {
+			return err
+		}
+		d, err := r.i64()
+		if err != nil {
+			return err
+		}
+		rt.D = time.Duration(d)
+		if rt.R, err = r.f64(); err != nil {
+			return err
+		}
+		if rt.ListLen, err = r.i32(); err != nil {
+			return err
+		}
+		m.Routes = append(m.Routes, rt)
+	}
+	return nil
+}
+
+func (m *Deliver) encode(b *bytes.Buffer) {
+	putI32(b, m.Topic)
+	putU64(b, m.PacketID)
+	putI32(b, m.Source)
+	putI64(b, m.PublishedAt.UnixNano())
+	putBytes(b, m.Payload)
+}
+
+func (m *Deliver) decode(r *reader) (err error) {
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	if m.PacketID, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Source, err = r.i32(); err != nil {
+		return err
+	}
+	ns, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.PublishedAt = time.Unix(0, ns)
+	m.Payload, err = r.bytes()
+	return err
+}

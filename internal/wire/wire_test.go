@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// roundTrip encodes and decodes a message, returning the decoded copy.
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write(%v): %v", msg.Type(), err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", msg.Type(), err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	at := time.Unix(0, 1720000000123456789)
+	tests := []Message{
+		&Hello{BrokerID: 7, Name: "broker-7"},
+		&Hello{BrokerID: -1, Name: ""},
+		&Data{
+			FrameID:     42,
+			PacketID:    99,
+			Topic:       3,
+			Source:      1,
+			PublishedAt: at,
+			Deadline:    150 * time.Millisecond,
+			Dests:       []int32{2, 5, 9},
+			Path:        []int32{1, 4, 1},
+			Payload:     []byte("position report"),
+		},
+		&Data{FrameID: 1, PacketID: 2, PublishedAt: time.Unix(0, 0)},
+		&Ack{FrameID: 12345678901234},
+		&Advert{Topic: 2, Sub: 8, D: 75 * time.Millisecond, R: 0.987, Gone: false},
+		&Advert{Topic: 0, Sub: 0, Gone: true},
+		&Ping{Token: 555},
+		&Pong{Token: 555},
+		&Subscribe{Topic: 4, Deadline: 200 * time.Millisecond},
+		&Publish{Topic: 4, Deadline: time.Second, Payload: []byte{0, 1, 2, 255}},
+		&Publish{Topic: 0, Payload: nil},
+		&Deliver{Topic: 4, PacketID: 77, Source: 2, PublishedAt: at, Payload: []byte("x")},
+		&Unsubscribe{Topic: 9},
+		&StatsRequest{Token: 31337},
+		&StatsReply{
+			Token: 31337, BrokerID: 2,
+			Published: 10, Delivered: 20, Forwarded: 30, Dropped: 1,
+			Neighbors: []NeighborStat{
+				{ID: 1, Connected: true, Alpha: 12 * time.Millisecond, Gamma: 0.97},
+				{ID: 5, Connected: false, Alpha: 30 * time.Millisecond, Gamma: 0.4},
+			},
+			Routes: []RouteStat{
+				{Topic: 3, Sub: 1, D: 45 * time.Millisecond, R: 0.93, ListLen: 2},
+			},
+		},
+		&StatsReply{Token: 1, BrokerID: 0},
+	}
+	for _, msg := range tests {
+		t.Run(msg.Type().String(), func(t *testing.T) {
+			got := roundTrip(t, msg)
+			if !reflect.DeepEqual(msg, got) {
+				t.Errorf("round trip mismatch:\n sent %#v\n got  %#v", msg, got)
+			}
+		})
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Ping{Token: 1},
+		&Ack{FrameID: 2},
+		&Hello{BrokerID: 3, Name: "x"},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("frame %d mismatch: %#v vs %#v", i, want, got)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Errorf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1, 200}) // length 1, type 200
+	if _, err := Read(&buf); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	if _, err := Read(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadRejectsEmptyFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := Read(&buf); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadRejectsTruncatedBody(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, &Data{FrameID: 1, PacketID: 2, PublishedAt: time.Unix(0, 0), Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	// Chop the body but fix the length header to the chopped size so the
+	// decoder (not ReadFull) sees the truncation.
+	for cut := 6; cut < len(raw)-1; cut += 7 {
+		chopped := append([]byte(nil), raw[:cut]...)
+		bodyLen := cut - 4
+		chopped[0], chopped[1], chopped[2], chopped[3] = 0, 0, byte(bodyLen>>8), byte(bodyLen)
+		if _, err := Read(bytes.NewReader(chopped)); err == nil {
+			t.Errorf("cut at %d: truncated frame accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Ack{FrameID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Extend the body by one byte and bump the length.
+	raw = append(raw, 0xAA)
+	raw[3]++
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("frame with trailing bytes accepted")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeHello: "HELLO", TypeData: "DATA", TypeAck: "ACK",
+		TypeAdvert: "ADVERT", TypePing: "PING", TypePong: "PONG",
+		TypeSubscribe: "SUBSCRIBE", TypePublish: "PUBLISH", TypeDeliver: "DELIVER",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Errorf("unknown type string = %q", Type(99).String())
+	}
+}
+
+// Property: Data frames with arbitrary content survive a round trip.
+func TestDataRoundTripProperty(t *testing.T) {
+	f := func(frameID, pktID uint64, topic, source int32, ns int64, dl int64, dests, path []int32, payload []byte) bool {
+		if len(dests) > 1000 {
+			dests = dests[:1000]
+		}
+		if len(path) > 1000 {
+			path = path[:1000]
+		}
+		in := &Data{
+			FrameID:     frameID,
+			PacketID:    pktID,
+			Topic:       topic,
+			Source:      source,
+			PublishedAt: time.Unix(0, ns),
+			Deadline:    time.Duration(dl),
+			Dests:       dests,
+			Path:        path,
+			Payload:     payload,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*Data)
+		if !ok {
+			return false
+		}
+		if got.FrameID != in.FrameID || got.PacketID != in.PacketID ||
+			got.Topic != in.Topic || got.Source != in.Source ||
+			!got.PublishedAt.Equal(in.PublishedAt) || got.Deadline != in.Deadline {
+			return false
+		}
+		if len(got.Dests) != len(in.Dests) || len(got.Path) != len(in.Path) || len(got.Payload) != len(in.Payload) {
+			return false
+		}
+		for i := range in.Dests {
+			if got.Dests[i] != in.Dests[i] {
+				return false
+			}
+		}
+		for i := range in.Path {
+			if got.Path[i] != in.Path[i] {
+				return false
+			}
+		}
+		return bytes.Equal(got.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDataRoundTrip(b *testing.B) {
+	msg := &Data{
+		FrameID: 1, PacketID: 2, Topic: 3, Source: 4,
+		PublishedAt: time.Unix(0, 12345),
+		Deadline:    100 * time.Millisecond,
+		Dests:       []int32{1, 2, 3, 4},
+		Path:        []int32{0, 5, 0},
+		Payload:     bytes.Repeat([]byte("x"), 256),
+	}
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
