@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output into JSON.
+//
+// It reads standard benchmark lines (including -benchmem columns and custom
+// metrics such as qos_ratio) from stdin, averages repeated -count runs per
+// benchmark, and writes one JSON document to stdout:
+//
+//	go test -run '^$' -bench 'Approach|Figure2' -benchmem -count 5 . | benchjson
+//
+// The output is an object keyed by benchmark name; each entry carries the
+// mean ns/op, B/op and allocs/op over the runs plus any custom metrics
+// (e.g. qos_ratio), ready for diffing against BENCH_baseline.json. For
+// statistically rigorous comparisons use benchstat on the raw output
+// instead; this tool exists to snapshot numbers in a stable format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry accumulates the runs of one benchmark.
+type entry struct {
+	runs    int
+	nsOp    float64
+	bytesOp float64
+	allocs  float64
+	metrics map[string]float64
+}
+
+// Result is the emitted per-benchmark summary.
+type Result struct {
+	Runs     int                `json:"runs"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BytesOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	entries := map[string]*entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix: BenchmarkFoo-8 -> BenchmarkFoo.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := entries[name]
+		if e == nil {
+			e = &entry{metrics: map[string]float64{}}
+			entries[name] = e
+		}
+		e.runs++
+		// fields[1] is the iteration count; the rest come in (value, unit)
+		// pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.nsOp += v
+			case "B/op":
+				e.bytesOp += v
+			case "allocs/op":
+				e.allocs += v
+			default:
+				e.metrics[unit] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	out := map[string]Result{}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := entries[name]
+		n := float64(e.runs)
+		r := Result{
+			Runs:     e.runs,
+			NsPerOp:  e.nsOp / n,
+			BytesOp:  e.bytesOp / n,
+			AllocsOp: e.allocs / n,
+		}
+		if len(e.metrics) > 0 {
+			r.Metrics = map[string]float64{}
+			for unit, sum := range e.metrics {
+				r.Metrics[unit] = sum / n
+			}
+		}
+		out[name] = r
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -22,11 +22,6 @@ import (
 	"repro/internal/netsim"
 )
 
-// ack acknowledges one data frame hop-by-hop.
-type ack struct {
-	FrameID uint64
-}
-
 // defaultAckGuard pads the round-trip ACK timeout, mirroring the DCRD
 // router's guard.
 const defaultAckGuard = time.Millisecond
@@ -34,21 +29,26 @@ const defaultAckGuard = time.Millisecond
 // hopSender manages one node's unacknowledged transmissions: it sends a
 // frame, arms an ACK timer at the link round trip, retransmits up to the
 // attempt budget and invokes the failure callback when the budget is spent.
+// Flight structs are pooled (one simulation is single-threaded) and timers
+// use the simulator's closure-free AfterFunc, mirroring the DCRD router's
+// allocation discipline.
 type hopSender struct {
 	net      *netsim.Network
 	node     int
 	guard    time.Duration
 	inflight map[uint64]*hopFlight
+	free     []*hopFlight
 }
 
 type hopFlight struct {
+	h        *hopSender
 	frameID  uint64
 	to       int
 	payload  any
 	attempts int
 	budget   int // 0 means unlimited
 	timeout  time.Duration
-	timer    *des.Event
+	timer    des.EventID
 	onFail   func()
 }
 
@@ -61,6 +61,23 @@ func newHopSender(net *netsim.Network, node int) *hopSender {
 	}
 }
 
+// alloc takes a flight from the pool.
+func (h *hopSender) alloc() *hopFlight {
+	if l := len(h.free); l > 0 {
+		fl := h.free[l-1]
+		h.free[l-1] = nil
+		h.free = h.free[:l-1]
+		return fl
+	}
+	return &hopFlight{}
+}
+
+// release recycles a resolved flight.
+func (h *hopSender) release(fl *hopFlight) {
+	*fl = hopFlight{}
+	h.free = append(h.free, fl)
+}
+
 // send transmits payload to neighbor to with the given attempt budget
 // (0 = retry until cancelled). onFail runs after the last attempt times out.
 func (h *hopSender) send(to int, payload any, budget int, onFail func()) {
@@ -71,16 +88,22 @@ func (h *hopSender) send(to int, payload any, budget int, onFail func()) {
 		}
 		return
 	}
-	fl := &hopFlight{
-		frameID: h.net.NextFrameID(),
-		to:      to,
-		payload: payload,
-		budget:  budget,
-		timeout: wait + h.guard,
-		onFail:  onFail,
-	}
+	fl := h.alloc()
+	fl.h = h
+	fl.frameID = h.net.NextFrameID()
+	fl.to = to
+	fl.payload = payload
+	fl.budget = budget
+	fl.timeout = wait + h.guard
+	fl.onFail = onFail
 	h.inflight[fl.frameID] = fl
 	h.transmit(fl)
+}
+
+// hopTimeoutFired is the pooled ACK-timer callback.
+func hopTimeoutFired(a any) {
+	fl := a.(*hopFlight)
+	fl.h.timeoutFired(fl)
 }
 
 func (h *hopSender) transmit(fl *hopFlight) {
@@ -92,7 +115,7 @@ func (h *hopSender) transmit(fl *hopFlight) {
 		Kind:    netsim.Data,
 		Payload: fl.payload,
 	})
-	fl.timer = h.net.Sim().After(fl.timeout, func() { h.timeoutFired(fl) })
+	fl.timer = h.net.Sim().AfterFunc(fl.timeout, hopTimeoutFired, fl)
 }
 
 func (h *hopSender) timeoutFired(fl *hopFlight) {
@@ -104,8 +127,10 @@ func (h *hopSender) timeoutFired(fl *hopFlight) {
 		return
 	}
 	delete(h.inflight, fl.frameID)
-	if fl.onFail != nil {
-		fl.onFail()
+	onFail := fl.onFail
+	h.release(fl)
+	if onFail != nil {
+		onFail()
 	}
 }
 
@@ -117,32 +142,63 @@ func (h *hopSender) handleAck(frameID uint64) {
 	}
 	fl.timer.Cancel()
 	delete(h.inflight, frameID)
+	h.release(fl)
 }
 
-// sendAck acknowledges receipt of data frame f back to its sender.
+// sendAck acknowledges receipt of data frame f back to its sender via the
+// frame's inline Ack field (no boxed payload).
 func sendAck(net *netsim.Network, node int, f netsim.Frame) {
 	_ = net.Send(netsim.Frame{
-		ID:      net.NextFrameID(),
-		From:    node,
-		To:      f.From,
-		Kind:    netsim.Control,
-		Payload: ack{FrameID: f.ID},
+		ID:   net.NextFrameID(),
+		From: node,
+		To:   f.From,
+		Kind: netsim.Control,
+		Ack:  f.ID,
 	})
 }
 
-// groupByNextHop buckets destinations by their next hop, separating those
-// with no route.
-func groupByNextHop(dests []int, next func(dest int) int) (groups map[int][]int, unroutable []int) {
-	groups = make(map[int][]int)
+// grouper buckets destinations by next hop into reusable scratch buffers,
+// separating those with no route. Groups come out in ascending next-hop
+// order. The buffers are valid until the next call; callers that retain a
+// group (e.g. in a frame payload) must copy it.
+type grouper struct {
+	hops       []int
+	dests      [][]int
+	unroutable []int
+}
+
+func (gp *grouper) group(dests []int, next func(dest int) int) {
+	gp.hops = gp.hops[:0]
+	gp.unroutable = gp.unroutable[:0]
 	for _, dest := range dests {
 		nh := next(dest)
 		if nh < 0 {
-			unroutable = append(unroutable, dest)
+			gp.unroutable = append(gp.unroutable, dest)
 			continue
 		}
-		groups[nh] = append(groups[nh], dest)
+		gi := -1
+		for j, h := range gp.hops {
+			if h == nh {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
+			gp.hops = append(gp.hops, nh)
+			gi = len(gp.hops) - 1
+			if len(gp.dests) <= gi {
+				gp.dests = append(gp.dests, nil)
+			}
+			gp.dests[gi] = gp.dests[gi][:0]
+		}
+		gp.dests[gi] = append(gp.dests[gi], dest)
 	}
-	return groups, unroutable
+	for i := 1; i < len(gp.hops); i++ {
+		for j := i; j > 0 && gp.hops[j] < gp.hops[j-1]; j-- {
+			gp.hops[j], gp.hops[j-1] = gp.hops[j-1], gp.hops[j]
+			gp.dests[j], gp.dests[j-1] = gp.dests[j-1], gp.dests[j]
+		}
+	}
 }
 
 // localDeliveries splits dests into those hosted at node (delivered

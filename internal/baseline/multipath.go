@@ -132,9 +132,11 @@ func (r *MultipathRouter) Publish(pkt pubsub.Packet) {
 }
 
 func (mn *mpNode) handleFrame(f netsim.Frame) {
+	if f.Kind == netsim.Control {
+		mn.sender.handleAck(f.Ack)
+		return
+	}
 	switch p := f.Payload.(type) {
-	case ack:
-		mn.sender.handleAck(p.FrameID)
 	case mpData:
 		sendAck(mn.r.net, mn.id, f)
 		if mn.seen[f.ID] {

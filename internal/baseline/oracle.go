@@ -1,7 +1,6 @@
 package baseline
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/metrics"
@@ -37,6 +36,7 @@ type oracleNode struct {
 	id     int
 	sender *hopSender
 	seen   map[uint64]bool
+	gp     grouper
 }
 
 // defaultOracleLifetime bounds retries for packets caught in long outages.
@@ -84,9 +84,11 @@ func (r *OracleRouter) Publish(pkt pubsub.Packet) {
 }
 
 func (on *oracleNode) handleFrame(f netsim.Frame) {
+	if f.Kind == netsim.Control {
+		on.sender.handleAck(f.Ack)
+		return
+	}
 	switch p := f.Payload.(type) {
-	case ack:
-		on.sender.handleAck(p.FrameID)
 	case oracleData:
 		sendAck(on.r.net, on.id, f)
 		if on.seen[f.ID] {
@@ -121,20 +123,15 @@ func (on *oracleNode) process(pkt pubsub.Packet, dests []int) {
 	alive := topology.Dijkstra(g, on.id, func(u, v int) bool {
 		return on.r.net.Alive(u, v, now)
 	})
-	groups, unroutable := groupByNextHop(dests, alive.NextHop)
-	if len(unroutable) > 0 {
+	on.gp.group(dests, alive.NextHop)
+	if len(on.gp.unroutable) > 0 {
 		// Temporarily cut off: retry when the failure process redraws.
 		wait := on.r.net.NextEpochBoundary(now) - now
-		pendingRetry := append([]int(nil), unroutable...)
+		pendingRetry := append([]int(nil), on.gp.unroutable...)
 		on.r.net.Sim().After(wait, func() { on.process(pkt, pendingRetry) })
 	}
-	hops := make([]int, 0, len(groups))
-	for nh := range groups {
-		hops = append(hops, nh)
-	}
-	sort.Ints(hops)
-	for _, nh := range hops {
-		group := append([]int(nil), groups[nh]...)
+	for gi, nh := range on.gp.hops {
+		group := append([]int(nil), on.gp.dests[gi]...)
 		payload := oracleData{Pkt: pkt, Dests: group}
 		// Budget 1: an ACK timeout means loss or a mid-flight failure; the
 		// oracle recomputes the route instead of blindly retransmitting.

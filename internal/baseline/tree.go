@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -63,6 +62,7 @@ type treeNode struct {
 	id     int
 	sender *hopSender
 	seen   map[uint64]bool
+	gp     grouper
 }
 
 // NewTreeRouter builds the per-topic routing trees and installs handlers on
@@ -134,9 +134,11 @@ func (r *TreeRouter) Publish(pkt pubsub.Packet) {
 }
 
 func (tn *treeNode) handleFrame(f netsim.Frame) {
+	if f.Kind == netsim.Control {
+		tn.sender.handleAck(f.Ack)
+		return
+	}
 	switch p := f.Payload.(type) {
-	case ack:
-		tn.sender.handleAck(p.FrameID)
 	case treeData:
 		sendAck(tn.r.net, tn.id, f)
 		if tn.seen[f.ID] {
@@ -158,7 +160,7 @@ func (tn *treeNode) forward(pkt pubsub.Packet, dests []int) {
 	if len(dests) == 0 {
 		return
 	}
-	groups, unroutable := groupByNextHop(dests, func(dest int) int {
+	tn.gp.group(dests, func(dest int) int {
 		succ, ok := tn.r.next[pkt.Topic][dest]
 		if !ok {
 			return -1
@@ -169,17 +171,11 @@ func (tn *treeNode) forward(pkt pubsub.Packet, dests []int) {
 		}
 		return nh
 	})
-	for _, dest := range unroutable {
+	for _, dest := range tn.gp.unroutable {
 		tn.r.col.Drop(pkt.ID, dest)
 	}
-	hops := make([]int, 0, len(groups))
-	for nh := range groups {
-		hops = append(hops, nh)
-	}
-	sort.Ints(hops)
-	for _, nh := range hops {
-		group := groups[nh]
-		payload := treeData{Pkt: pkt, Dests: append([]int(nil), group...)}
+	for gi, nh := range tn.gp.hops {
+		payload := treeData{Pkt: pkt, Dests: append([]int(nil), tn.gp.dests[gi]...)}
 		tn.sender.send(nh, payload, tn.r.m, func() {
 			for _, dest := range payload.Dests {
 				tn.r.col.Drop(pkt.ID, dest)

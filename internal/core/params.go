@@ -8,7 +8,6 @@ package core
 
 import (
 	"math"
-	"sort"
 	"time"
 )
 
@@ -131,30 +130,23 @@ func Combine(ordered []DR) DR {
 
 // SortByRatio orders entries by increasing d/r — the Theorem-1 ordering
 // proven to minimize the expected delay d_X of Eq. (3). Ties break on the
-// associated neighbor IDs for determinism. Entries and ids are parallel
-// slices sorted in place.
+// associated neighbor IDs for determinism (the (ratio, id) key is a total
+// order, so the result is unique). Entries and ids are parallel slices
+// sorted in place; sending lists are degree-sized, so an allocation-free
+// insertion sort beats boxing into the sort package.
 func SortByRatio(entries []DR, ids []int) {
-	sort.Stable(idsByRatio{entries: entries, ids: ids})
-}
-
-// idsByRatio sorts two parallel slices; implemented via sort.Stable because
-// sort.SliceStable cannot swap two slices at once.
-type idsByRatio struct {
-	entries []DR
-	ids     []int
-}
-
-func (s idsByRatio) Len() int { return len(s.entries) }
-
-func (s idsByRatio) Less(i, j int) bool {
-	ri, rj := s.entries[i].Ratio(), s.entries[j].Ratio()
-	if ri != rj {
-		return ri < rj
+	for i := 1; i < len(entries); i++ {
+		e, id := entries[i], ids[i]
+		r := e.Ratio()
+		j := i
+		for j > 0 {
+			rj := entries[j-1].Ratio()
+			if rj < r || (rj == r && ids[j-1] < id) {
+				break
+			}
+			entries[j], ids[j] = entries[j-1], ids[j-1]
+			j--
+		}
+		entries[j], ids[j] = e, id
 	}
-	return s.ids[i] < s.ids[j]
-}
-
-func (s idsByRatio) Swap(i, j int) {
-	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
-	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/des"
@@ -61,6 +61,12 @@ func (o RouterOptions) withDefaults() RouterOptions {
 // next Theorem-1-ordered neighbor on failure, and rerouting to the upstream
 // node when a broker exhausts its sending list. One Router instance drives
 // every broker node of the overlay.
+//
+// The forwarding hot path is allocation-free in steady state: work, flight
+// and dataPayload objects are pooled on the Router (one simulation is
+// single-threaded, so the pools need no locking), per-packet sets are
+// bitsets or small sorted slices with reusable backing arrays, and all
+// timers go through the simulator's closure-free AfterFunc.
 type Router struct {
 	net  *netsim.Network
 	work *pubsub.Workload
@@ -70,21 +76,30 @@ type Router struct {
 	// (publisher, subscriber) pair.
 	tables []map[int]*Table
 	nodes  []*nodeState
+	// setWords is the pathSet bitset length, (N+63)/64.
+	setWords int
+	// Object pools. Backing slices inside recycled objects are kept, so
+	// steady state reuses their capacity.
+	freeWork    []*work
+	freeFlight  []*flight
+	freePayload []*dataPayload
 }
 
 // dataPayload is the body of a DCRD data frame: the packet plus the
 // destinations this copy is responsible for and the recorded routing path
 // (the broker IDs that have sent this copy, in order, with duplicates when
 // a broker sent it more than once — exactly the paper's packet format).
+//
+// Payloads are pooled: the owning flight recycles its payload when the
+// hop-by-hop ACK resolves it. A receiver may therefore read the payload's
+// contents only during the frame's own delivery event and only for frames
+// that pass deduplication — both hold by construction: the first delivery
+// happens strictly before the ACK that releases the payload, and duplicate
+// deliveries land within one ACK round trip, far inside the dedup horizon.
 type dataPayload struct {
 	Pkt   pubsub.Packet
 	Dests []int
 	Path  []int
-}
-
-// ackPayload acknowledges receipt of one data frame hop-by-hop.
-type ackPayload struct {
-	FrameID uint64
 }
 
 // NewRouter builds route tables for every (publisher, subscriber) pair and
@@ -93,19 +108,20 @@ func NewRouter(net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, 
 	opts = opts.withDefaults()
 	g := net.Graph()
 	r := &Router{
-		net:    net,
-		work:   w,
-		col:    col,
-		opts:   opts,
-		tables: make([]map[int]*Table, len(w.Topics())),
-		nodes:  make([]*nodeState, g.N()),
+		net:      net,
+		work:     w,
+		col:      col,
+		opts:     opts,
+		tables:   make([]map[int]*Table, len(w.Topics())),
+		nodes:    make([]*nodeState, g.N()),
+		setWords: (g.N() + 63) / 64,
 	}
 	r.Rebuild()
 	for id := 0; id < g.N(); id++ {
 		ns := &nodeState{
 			r:        r,
 			id:       id,
-			seen:     make(map[uint64]bool),
+			seen:     make(map[uint64]struct{}),
 			inflight: make(map[uint64]*flight),
 		}
 		r.nodes[id] = ns
@@ -143,10 +159,14 @@ func (r *Router) Rebuild() {
 // tests and diagnostics.
 func (r *Router) Table(topic, sub int) *Table { return r.tables[topic][sub] }
 
-// record emits a trace event when tracing is enabled.
+// record emits a trace event when tracing is enabled. dests is copied so
+// recorded events stay valid after pooled buffers are reused.
 func (r *Router) record(kind trace.Kind, pkt uint64, node, peer int, dests []int, note string) {
 	if r.opts.Tracer == nil {
 		return
+	}
+	if dests != nil {
+		dests = append([]int(nil), dests...)
 	}
 	r.opts.Tracer.Record(trace.Event{
 		At:     r.net.Sim().Now(),
@@ -159,69 +179,216 @@ func (r *Router) record(kind trace.Kind, pkt uint64, node, peer int, dests []int
 	})
 }
 
+// allocWork takes a work object from the pool with one reference held by
+// the caller.
+func (r *Router) allocWork(ns *nodeState) *work {
+	var w *work
+	if l := len(r.freeWork); l > 0 {
+		w = r.freeWork[l-1]
+		r.freeWork[l-1] = nil
+		r.freeWork = r.freeWork[:l-1]
+	} else {
+		w = &work{pathSet: make([]uint64, r.setWords)}
+	}
+	w.ns = ns
+	w.path = w.path[:0]
+	w.pending = w.pending[:0]
+	w.failed = w.failed[:0]
+	clear(w.pathSet)
+	w.refs = 1
+	return w
+}
+
+// retainWork adds a reference (a flight or a scheduled re-process event).
+func (r *Router) retainWork(w *work) { w.refs++ }
+
+// releaseWork drops one reference and recycles the work when none remain.
+func (r *Router) releaseWork(w *work) {
+	w.refs--
+	if w.refs == 0 {
+		w.ns = nil
+		w.pkt = pubsub.Packet{}
+		r.freeWork = append(r.freeWork, w)
+	}
+}
+
+// allocPayload takes a payload from the pool, keeping recycled capacity.
+func (r *Router) allocPayload() *dataPayload {
+	if l := len(r.freePayload); l > 0 {
+		p := r.freePayload[l-1]
+		r.freePayload[l-1] = nil
+		r.freePayload = r.freePayload[:l-1]
+		p.Dests = p.Dests[:0]
+		p.Path = p.Path[:0]
+		return p
+	}
+	return &dataPayload{}
+}
+
+// releasePayload returns a payload to the pool once its flight resolves.
+func (r *Router) releasePayload(p *dataPayload) {
+	p.Pkt = pubsub.Packet{}
+	r.freePayload = append(r.freePayload, p)
+}
+
+// allocFlight takes a flight from the pool.
+func (r *Router) allocFlight() *flight {
+	if l := len(r.freeFlight); l > 0 {
+		fl := r.freeFlight[l-1]
+		r.freeFlight[l-1] = nil
+		r.freeFlight = r.freeFlight[:l-1]
+		return fl
+	}
+	return &flight{}
+}
+
+// releaseFlight recycles the flight struct only; payload and work are
+// released separately by the caller (their lifetimes differ across the
+// resolve paths).
+func (r *Router) releaseFlight(fl *flight) {
+	*fl = flight{}
+	r.freeFlight = append(r.freeFlight, fl)
+}
+
 // Publish injects a freshly published packet at its source broker, which
 // becomes responsible for all subscriber destinations of the topic.
 func (r *Router) Publish(pkt pubsub.Packet) {
 	r.record(trace.Publish, pkt.ID, pkt.Source, -1, r.work.Destinations(pkt.Topic), "")
 	ns := r.nodes[pkt.Source]
-	w := &work{
-		pkt:      pkt,
-		upstream: -1,
-		pending:  make(map[int]bool),
-		failed:   make(map[int]bool),
-		pathSet:  map[int]bool{pkt.Source: true},
-	}
+	w := r.allocWork(ns)
+	w.pkt = pkt
+	w.upstream = -1
+	w.addToPathSet(pkt.Source)
 	for _, dest := range r.work.Destinations(pkt.Topic) {
 		if dest == pkt.Source {
 			r.col.Deliver(pkt.ID, dest, r.net.Sim().Now())
 			continue
 		}
-		w.pending[dest] = true
+		w.pending = append(w.pending, dest)
 	}
 	ns.process(w)
+	r.releaseWork(w)
 }
+
+// dedupHorizonFactor scales MaxLifetime into the dedup retention horizon.
+// Two lifetimes comfortably cover the last possible duplicate delivery
+// (transmissions stop at publish+MaxLifetime; one link delay plus one ACK
+// timeout later nothing new can arrive), so expiring seen entries beyond it
+// can never resurrect a packet.
+const dedupHorizonFactor = 2
 
 // nodeState is one broker's Algorithm-2 state: deduplication of received
 // frames and the set of sent-but-unacknowledged groups. Per the paper, no
 // per-packet routing state survives once the downstream ACK arrives.
+//
+// The scratch slices are reused by process on every call; process never
+// runs re-entrantly (all continuations go through the event loop), so one
+// set per node suffices.
 type nodeState struct {
 	r        *Router
 	id       int
-	seen     map[uint64]bool
+	seen     map[uint64]struct{}
+	seenQ    []seenRec
+	seenHead int
 	inflight map[uint64]*flight
+	// process scratch
+	dests      []int
+	exhausted  []int
+	groupHops  []int
+	groupDests [][]int
+}
+
+// seenRec is one dedup entry in FIFO insertion order, used to expire the
+// seen set past the dedup horizon.
+type seenRec struct {
+	id uint64
+	at time.Duration
+}
+
+// noteSeen inserts a frame into the dedup set and expires entries older
+// than dedupHorizonFactor×MaxLifetime, keeping long runs flat in memory.
+func (ns *nodeState) noteSeen(id uint64, now time.Duration) {
+	horizon := dedupHorizonFactor * ns.r.opts.MaxLifetime
+	for ns.seenHead < len(ns.seenQ) && now-ns.seenQ[ns.seenHead].at > horizon {
+		delete(ns.seen, ns.seenQ[ns.seenHead].id)
+		ns.seenQ[ns.seenHead] = seenRec{}
+		ns.seenHead++
+	}
+	if ns.seenHead > 64 && ns.seenHead*2 >= len(ns.seenQ) {
+		n := copy(ns.seenQ, ns.seenQ[ns.seenHead:])
+		for i := n; i < len(ns.seenQ); i++ {
+			ns.seenQ[i] = seenRec{}
+		}
+		ns.seenQ = ns.seenQ[:n]
+		ns.seenHead = 0
+	}
+	ns.seen[id] = struct{}{}
+	ns.seenQ = append(ns.seenQ, seenRec{id: id, at: now})
 }
 
 // work tracks one received copy of a packet at one broker: the destinations
 // still unresolved here, the neighbors that already timed out for this copy,
-// and the routing path the copy arrived with.
+// and the routing path the copy arrived with. Works are pooled and
+// reference-counted: every flight and every scheduled re-process event
+// holds one reference.
 type work struct {
+	ns       *nodeState
 	pkt      pubsub.Packet
-	path     []int // routing path as received (before appending self)
-	pathSet  map[int]bool
-	upstream int // -1 when this broker is the origin
-	pending  map[int]bool
-	failed   map[int]bool
+	path     []int    // routing path as received (before appending self)
+	pathSet  []uint64 // bitset over broker IDs on path (plus self)
+	upstream int      // -1 when this broker is the origin
+	pending  []int    // unresolved destinations, sorted at process entry
+	failed   []int    // neighbors that timed out for this copy
+	refs     int
+}
+
+// addToPathSet marks broker b as on this copy's routing path.
+func (w *work) addToPathSet(b int) { w.pathSet[b>>6] |= 1 << (uint(b) & 63) }
+
+// onPath reports whether broker b is on this copy's routing path.
+func (w *work) onPath(b int) bool { return w.pathSet[b>>6]&(1<<(uint(b)&63)) != 0 }
+
+// hasFailed reports whether neighbor k already timed out for this copy.
+func (w *work) hasFailed(k int) bool {
+	for _, f := range w.failed {
+		if f == k {
+			return true
+		}
+	}
+	return false
+}
+
+// removePending deletes one destination from the pending slice.
+func (w *work) removePending(dest int) {
+	for i, d := range w.pending {
+		if d == dest {
+			w.pending = append(w.pending[:i], w.pending[i+1:]...)
+			return
+		}
+	}
 }
 
 // flight is one sent group awaiting its hop-by-hop ACK.
 type flight struct {
+	ns         *nodeState
 	frameID    uint64
 	to         int
-	dests      []int
 	w          *work
 	attempts   int
-	timer      *des.Event
+	timer      des.EventID
 	toUpstream bool
-	payload    dataPayload
+	payload    *dataPayload
 	timeout    time.Duration
 }
 
 // handleFrame dispatches network frames to the ACK or data paths.
 func (ns *nodeState) handleFrame(f netsim.Frame) {
+	if f.Kind == netsim.Control && f.Ack != 0 {
+		ns.handleAck(f.Ack)
+		return
+	}
 	switch p := f.Payload.(type) {
-	case ackPayload:
-		ns.handleAck(p)
-	case dataPayload:
+	case *dataPayload:
 		ns.handleData(f, p)
 	default:
 		panic(fmt.Sprintf("core: node %d received unknown payload %T", ns.id, f.Payload))
@@ -232,55 +399,56 @@ func (ns *nodeState) handleFrame(f netsim.Frame) {
 // responsibility for the group's destinations, so this broker aggressively
 // forgets them (§III: "each node aggressively deletes a copy of packet once
 // it receives an ACK from its downstream neighbor").
-func (ns *nodeState) handleAck(p ackPayload) {
-	fl, ok := ns.inflight[p.FrameID]
+func (ns *nodeState) handleAck(frameID uint64) {
+	fl, ok := ns.inflight[frameID]
 	if !ok {
 		return // duplicate or stale ACK
 	}
 	fl.timer.Cancel()
-	delete(ns.inflight, p.FrameID)
-	ns.r.record(trace.Handoff, fl.w.pkt.ID, ns.id, fl.to, fl.dests, "")
+	delete(ns.inflight, frameID)
+	ns.r.record(trace.Handoff, fl.w.pkt.ID, ns.id, fl.to, fl.payload.Dests, "")
+	w := fl.w
+	ns.r.releasePayload(fl.payload)
+	ns.r.releaseFlight(fl)
+	ns.r.releaseWork(w)
 }
 
 // handleData implements Algorithm 2 lines 1–6: ACK the sender immediately,
 // deliver to local subscribers, then start processing the remaining
 // destinations.
-func (ns *nodeState) handleData(f netsim.Frame, p dataPayload) {
+func (ns *nodeState) handleData(f netsim.Frame, p *dataPayload) {
 	// Line 2: send ACK to the sender (hop-by-hop, lossy like any frame).
 	_ = ns.r.net.Send(netsim.Frame{
-		ID:      ns.r.net.NextFrameID(),
-		From:    ns.id,
-		To:      f.From,
-		Kind:    netsim.Control,
-		Payload: ackPayload{FrameID: f.ID},
+		ID:   ns.r.net.NextFrameID(),
+		From: ns.id,
+		To:   f.From,
+		Kind: netsim.Control,
+		Ack:  f.ID,
 	})
-	if ns.seen[f.ID] {
+	if _, dup := ns.seen[f.ID]; dup {
 		return // retransmission of an already-processed frame
 	}
-	ns.seen[f.ID] = true
-
-	w := &work{
-		pkt:      p.Pkt,
-		path:     append([]int(nil), p.Path...),
-		upstream: upstreamOf(ns.id, p.Path),
-		pending:  make(map[int]bool),
-		failed:   make(map[int]bool),
-		pathSet:  make(map[int]bool, len(p.Path)+1),
-	}
-	for _, b := range p.Path {
-		w.pathSet[b] = true
-	}
-	w.pathSet[ns.id] = true
 	now := ns.r.net.Sim().Now()
+	ns.noteSeen(f.ID, now)
+
+	w := ns.r.allocWork(ns)
+	w.pkt = p.Pkt
+	w.path = append(w.path, p.Path...)
+	w.upstream = upstreamOf(ns.id, p.Path)
+	for _, b := range p.Path {
+		w.addToPathSet(b)
+	}
+	w.addToPathSet(ns.id)
 	for _, dest := range p.Dests {
 		if dest == ns.id {
 			ns.r.col.Deliver(p.Pkt.ID, dest, now)
 			ns.r.record(trace.Deliver, p.Pkt.ID, ns.id, f.From, nil, "")
 			continue
 		}
-		w.pending[dest] = true
+		w.pending = append(w.pending, dest)
 	}
 	ns.process(w)
+	ns.r.releaseWork(w)
 }
 
 // upstreamOf finds the upstream broker of node in a routing path: the entry
@@ -302,6 +470,16 @@ func upstreamOf(node int, path []int) int {
 	return path[len(path)-1]
 }
 
+// reprocessWork is the pooled callback for deferred process calls (retry
+// after a missing link or a persistency hold): the scheduled event holds
+// one work reference, released after processing.
+func reprocessWork(a any) {
+	w := a.(*work)
+	ns := w.ns
+	ns.process(w)
+	ns.r.releaseWork(w)
+}
+
 // process implements Algorithm 2 lines 7–29 event-dependently: every pending
 // destination is assigned to the first eligible sending-list neighbor,
 // destinations sharing a next hop are grouped into one frame, and
@@ -309,27 +487,56 @@ func upstreamOf(node int, path []int) int {
 // (or dropped at the origin).
 func (ns *nodeState) process(w *work) {
 	now := ns.r.net.Sim().Now()
+	slices.Sort(w.pending)
 	if now-w.pkt.PublishedAt > ns.r.opts.MaxLifetime {
-		expired := sortedKeys(w.pending)
-		for _, dest := range expired {
+		for _, dest := range w.pending {
 			ns.r.col.Drop(w.pkt.ID, dest)
-			delete(w.pending, dest)
 		}
-		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, expired, "lifetime exceeded")
+		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, w.pending, "lifetime exceeded")
+		w.pending = w.pending[:0]
 		return
 	}
-	groups := make(map[int][]int)
-	var exhausted []int
-	for _, dest := range sortedKeys(w.pending) {
+	// Assign every pending destination to its first eligible neighbor,
+	// grouping by next hop; scratch buffers keep this allocation-free.
+	dests := append(ns.dests[:0], w.pending...)
+	ns.dests = dests
+	hops := ns.groupHops[:0]
+	exhausted := ns.exhausted[:0]
+	for _, dest := range dests {
 		k := ns.nextHop(w, dest)
 		if k < 0 {
 			exhausted = append(exhausted, dest)
-		} else {
-			groups[k] = append(groups[k], dest)
+			continue
+		}
+		gi := -1
+		for j, h := range hops {
+			if h == k {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
+			hops = append(hops, k)
+			gi = len(hops) - 1
+			if len(ns.groupDests) <= gi {
+				ns.groupDests = append(ns.groupDests, nil)
+			}
+			ns.groupDests[gi] = ns.groupDests[gi][:0]
+		}
+		ns.groupDests[gi] = append(ns.groupDests[gi], dest)
+	}
+	// Groups fire in ascending next-hop order (the deterministic event
+	// ordering contract); insertion sort over the handful of hops.
+	for i := 1; i < len(hops); i++ {
+		for j := i; j > 0 && hops[j] < hops[j-1]; j-- {
+			hops[j], hops[j-1] = hops[j-1], hops[j]
+			ns.groupDests[j], ns.groupDests[j-1] = ns.groupDests[j-1], ns.groupDests[j]
 		}
 	}
-	for _, k := range sortedGroupKeys(groups) {
-		ns.sendGroup(w, k, groups[k], false)
+	ns.groupHops = hops
+	ns.exhausted = exhausted
+	for gi := range hops {
+		ns.sendGroup(w, hops[gi], ns.groupDests[gi], false)
 	}
 	if len(exhausted) == 0 {
 		return
@@ -340,24 +547,21 @@ func (ns *nodeState) process(w *work) {
 			// Persistency mode (§III): hold the packet at the origin and
 			// resend once network conditions can have changed, with a
 			// clean slate (fresh path and failed set).
-			retry := &work{
-				pkt:      w.pkt,
-				upstream: -1,
-				pending:  make(map[int]bool, len(exhausted)),
-				failed:   make(map[int]bool),
-				pathSet:  map[int]bool{ns.id: true},
-			}
+			retry := ns.r.allocWork(ns)
+			retry.pkt = w.pkt
+			retry.upstream = -1
+			retry.addToPathSet(ns.id)
 			for _, dest := range exhausted {
-				delete(w.pending, dest)
-				retry.pending[dest] = true
+				w.removePending(dest)
+				retry.pending = append(retry.pending, dest)
 			}
 			wait := ns.r.net.NextEpochBoundary(now) - now
-			ns.r.net.Sim().After(wait, func() { ns.process(retry) })
+			ns.r.net.Sim().AfterFunc(wait, reprocessWork, retry)
 			return
 		}
 		// The origin exhausted every neighbor: no usable path now.
 		for _, dest := range exhausted {
-			delete(w.pending, dest)
+			w.removePending(dest)
 			ns.r.col.Drop(w.pkt.ID, dest)
 		}
 		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, exhausted, "origin exhausted sending list")
@@ -375,7 +579,7 @@ func (ns *nodeState) nextHop(w *work, dest int) int {
 		return -1
 	}
 	for _, k := range table.List(ns.id) {
-		if w.pathSet[k] || w.failed[k] {
+		if w.onPath(k) || w.hasFailed(k) {
 			continue
 		}
 		return k
@@ -389,46 +593,53 @@ func (ns *nodeState) nextHop(w *work, dest int) int {
 // an ACK timer scaled to the link's round trip.
 func (ns *nodeState) sendGroup(w *work, k int, dests []int, toUpstream bool) {
 	for _, dest := range dests {
-		delete(w.pending, dest)
+		w.removePending(dest)
 	}
 	w.path = append(w.path, ns.id) // line 20: add X to the routing path
-	payload := dataPayload{
-		Pkt:   w.pkt,
-		Dests: append([]int(nil), dests...),
-		Path:  append([]int(nil), w.path...),
-	}
 	wait, ok := ns.r.net.AckWait(ns.id, k)
 	if !ok {
 		// The table or path information referenced a non-link; mark the
 		// neighbor failed and retry via the event loop rather than crash.
-		w.failed[k] = true
-		for _, dest := range dests {
-			w.pending[dest] = true
-		}
-		ns.r.net.Sim().After(0, func() { ns.process(w) })
+		w.failed = append(w.failed, k)
+		w.pending = append(w.pending, dests...)
+		ns.r.retainWork(w)
+		ns.r.net.Sim().AfterFunc(0, reprocessWork, w)
 		return
 	}
-	fl := &flight{
-		frameID:    ns.r.net.NextFrameID(),
-		to:         k,
-		dests:      payload.Dests,
-		w:          w,
-		toUpstream: toUpstream,
-		payload:    payload,
-		timeout:    wait + ns.r.opts.AckGuard,
-	}
+	payload := ns.r.allocPayload()
+	payload.Pkt = w.pkt
+	payload.Dests = append(payload.Dests, dests...)
+	payload.Path = append(payload.Path, w.path...)
+	fl := ns.r.allocFlight()
+	fl.ns = ns
+	fl.frameID = ns.r.net.NextFrameID()
+	fl.to = k
+	fl.w = w
+	fl.attempts = 0
+	fl.toUpstream = toUpstream
+	fl.payload = payload
+	fl.timeout = wait + ns.r.opts.AckGuard
 	ns.inflight[fl.frameID] = fl
+	ns.r.retainWork(w)
 	ns.transmit(fl)
+}
+
+// ackTimeoutFired is the pooled ACK-timer callback.
+func ackTimeoutFired(a any) {
+	fl := a.(*flight)
+	fl.ns.ackTimeout(fl)
 }
 
 // transmit performs one transmission attempt and arms the ACK timer.
 func (ns *nodeState) transmit(fl *flight) {
 	fl.attempts++
-	note := fmt.Sprintf("attempt %d", fl.attempts)
-	if fl.toUpstream {
-		note += " (upstream)"
+	if ns.r.opts.Tracer != nil {
+		note := fmt.Sprintf("attempt %d", fl.attempts)
+		if fl.toUpstream {
+			note += " (upstream)"
+		}
+		ns.r.record(trace.Send, fl.w.pkt.ID, ns.id, fl.to, fl.payload.Dests, note)
 	}
-	ns.r.record(trace.Send, fl.w.pkt.ID, ns.id, fl.to, fl.dests, note)
 	_ = ns.r.net.Send(netsim.Frame{
 		ID:      fl.frameID,
 		From:    ns.id,
@@ -436,7 +647,7 @@ func (ns *nodeState) transmit(fl *flight) {
 		Kind:    netsim.Data,
 		Payload: fl.payload,
 	})
-	fl.timer = ns.r.net.Sim().After(fl.timeout, func() { ns.ackTimeout(fl) })
+	fl.timer = ns.r.net.Sim().AfterFunc(fl.timeout, ackTimeoutFired, fl)
 }
 
 // ackTimeout fires when no ACK arrived in time: retransmit while attempts
@@ -448,45 +659,32 @@ func (ns *nodeState) ackTimeout(fl *flight) {
 		return // resolved concurrently
 	}
 	now := ns.r.net.Sim().Now()
-	ns.r.record(trace.Timeout, fl.w.pkt.ID, ns.id, fl.to, fl.dests, "")
+	ns.r.record(trace.Timeout, fl.w.pkt.ID, ns.id, fl.to, fl.payload.Dests, "")
 	expired := now-fl.w.pkt.PublishedAt > ns.r.opts.MaxLifetime
 	if !expired && (fl.toUpstream || fl.attempts < ns.r.opts.M) {
 		ns.transmit(fl)
 		return
 	}
 	delete(ns.inflight, fl.frameID)
+	w := fl.w
 	if expired {
-		for _, dest := range fl.dests {
-			ns.r.col.Drop(fl.w.pkt.ID, dest)
+		for _, dest := range fl.payload.Dests {
+			ns.r.col.Drop(w.pkt.ID, dest)
 		}
-		ns.r.record(trace.Drop, fl.w.pkt.ID, ns.id, fl.to, fl.dests, "lifetime exceeded")
+		ns.r.record(trace.Drop, w.pkt.ID, ns.id, fl.to, fl.payload.Dests, "lifetime exceeded")
+		ns.r.releasePayload(fl.payload)
+		ns.r.releaseFlight(fl)
+		ns.r.releaseWork(w)
 		return
 	}
-	ns.r.record(trace.Failover, fl.w.pkt.ID, ns.id, fl.to, fl.dests,
-		fmt.Sprintf("no ACK after %d transmission(s)", fl.attempts))
-	fl.w.failed[fl.to] = true
-	for _, dest := range fl.dests {
-		fl.w.pending[dest] = true
+	if ns.r.opts.Tracer != nil {
+		ns.r.record(trace.Failover, w.pkt.ID, ns.id, fl.to, fl.payload.Dests,
+			fmt.Sprintf("no ACK after %d transmission(s)", fl.attempts))
 	}
-	ns.process(fl.w)
-}
-
-// sortedKeys returns map keys in ascending order for deterministic
-// event scheduling.
-func sortedKeys(m map[int]bool) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
-}
-
-func sortedGroupKeys(m map[int][]int) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
+	w.failed = append(w.failed, fl.to)
+	w.pending = append(w.pending, fl.payload.Dests...)
+	ns.r.releasePayload(fl.payload)
+	ns.r.releaseFlight(fl)
+	ns.process(w)
+	ns.r.releaseWork(w)
 }

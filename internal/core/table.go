@@ -144,56 +144,73 @@ func BuildTable(g *topology.Graph, stats LinkStatsFunc, sub int, budget []time.D
 		opts.Tolerance = time.Microsecond
 	}
 
-	// Precompute per-link m-transmission statistics once.
-	linkDR := make([]map[int]DR, n)
+	// Precompute per-link m-transmission statistics once, in a dense
+	// (from, to) table; missing links stay Unreachable, which the
+	// admission filter skips anyway.
+	linkDR := make([]DR, n*n)
+	for i := range linkDR {
+		linkDR[i] = Unreachable()
+	}
 	for u := 0; u < n; u++ {
-		linkDR[u] = make(map[int]DR, g.Degree(u))
 		for _, e := range g.Neighbors(u) {
 			alpha, gamma, ok := stats(u, e.To)
 			if !ok {
 				continue
 			}
-			linkDR[u][e.To] = LinkStats(alpha, gamma, opts.M)
+			linkDR[u*n+e.To] = LinkStats(alpha, gamma, opts.M)
 		}
 	}
 
 	t := &Table{
 		Subscriber: sub,
-		Params:     make([]DR, n),
 		Lists:      make([][]int, n),
 		Budget:     append([]time.Duration(nil), budget...),
 	}
-	for x := range t.Params {
-		t.Params[x] = Unreachable()
+	// Double-buffered Jacobi iteration: cur holds the previous round's
+	// parameters, next receives this round's. Per-node list buffers are
+	// sized to the degree once and rewritten in place each round; the
+	// final round's contents become the table's sending lists.
+	cur := make([]DR, n)
+	next := make([]DR, n)
+	for x := range cur {
+		cur[x] = Unreachable()
 	}
-	t.Params[sub] = DR{D: 0, R: 1}
+	cur[sub] = DR{D: 0, R: 1}
+	idsBuf := make([][]int, n)
+	viaBuf := make([][]DR, n)
+	for x := 0; x < n; x++ {
+		if x == sub {
+			continue
+		}
+		idsBuf[x] = make([]int, 0, g.Degree(x))
+		viaBuf[x] = make([]DR, 0, g.Degree(x))
+	}
 
 	for round := 0; round < opts.MaxRounds; round++ {
-		next := make([]DR, n)
-		lists := make([][]int, n)
 		changed := false
 		for x := 0; x < n; x++ {
 			if x == sub {
 				next[x] = DR{D: 0, R: 1}
 				continue
 			}
-			list, via := admit(g, x, t.Params, linkDR, t.Budget[x])
-			opts.Ordering.sortList(via, list)
+			ids, via := admit(g, x, cur, linkDR, n, t.Budget[x], idsBuf[x][:0], viaBuf[x][:0])
+			idsBuf[x], viaBuf[x] = ids, via
+			opts.Ordering.sortList(via, ids)
 			next[x] = Combine(via)
-			lists[x] = list
-			if diverged(t.Params[x], next[x], opts.Tolerance) {
+			if diverged(cur[x], next[x], opts.Tolerance) {
 				changed = true
 			}
 		}
-		t.Params = next
-		for x := range lists {
-			if x != sub {
-				t.Lists[x] = lists[x]
-			}
-		}
+		cur, next = next, cur
 		t.Rounds = round + 1
 		if !changed {
 			break
+		}
+	}
+	t.Params = cur
+	for x := 0; x < n; x++ {
+		if x != sub {
+			t.Lists[x] = idsBuf[x]
 		}
 	}
 	return t
@@ -202,16 +219,16 @@ func BuildTable(g *topology.Graph, stats LinkStatsFunc, sub int, budget []time.D
 // admit applies the Algorithm-1 admission filter at node x: a neighbor i
 // joins the sending list only if its own expected delay d_i is strictly
 // within x's residual budget D_XS and both the link and the neighbor are
-// reachable. It returns the admitted neighbor IDs with their Eq.-2 Via
-// parameters (unsorted).
-func admit(g *topology.Graph, x int, params []DR, linkDR []map[int]DR, budget time.Duration) (ids []int, via []DR) {
+// reachable. It appends the admitted neighbor IDs and their Eq.-2 Via
+// parameters (unsorted) to the supplied buffers.
+func admit(g *topology.Graph, x int, params []DR, linkDR []DR, n int, budget time.Duration, ids []int, via []DR) ([]int, []DR) {
 	for _, e := range g.Neighbors(x) {
 		p := params[e.To]
 		if !p.Reachable() || p.D >= budget {
 			continue
 		}
-		link, ok := linkDR[x][e.To]
-		if !ok || !link.Reachable() {
+		link := linkDR[x*n+e.To]
+		if !link.Reachable() {
 			continue
 		}
 		v := Via(link, p)

@@ -220,6 +220,82 @@ func TestMonotoneClockProperty(t *testing.T) {
 	}
 }
 
+func TestZeroEventIDCancel(t *testing.T) {
+	var id EventID
+	if id.Cancel() {
+		t.Error("zero EventID Cancel should report false")
+	}
+	if id.Time() != 0 {
+		t.Error("zero EventID Time should be 0")
+	}
+}
+
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	sim := New(1)
+	stale := sim.At(time.Millisecond, func() {})
+	sim.Run()
+	// The event struct is now on the free list; the next schedule reuses it.
+	ran := false
+	fresh := sim.At(time.Second, func() { ran = true })
+	if stale.Cancel() {
+		t.Error("stale handle cancelled a recycled event")
+	}
+	sim.Run()
+	if !ran {
+		t.Error("recycled event did not fire after stale Cancel attempt")
+	}
+	if fresh.Cancel() {
+		t.Error("Cancel after fire should report false on the fresh handle")
+	}
+}
+
+func TestAtFuncPassesArgument(t *testing.T) {
+	sim := New(1)
+	type payload struct{ hits int }
+	p := &payload{}
+	sim.AtFunc(time.Millisecond, func(a any) { a.(*payload).hits++ }, p)
+	sim.AfterFunc(time.Millisecond, func(a any) { a.(*payload).hits += 10 }, p)
+	sim.Run()
+	if p.hits != 11 {
+		t.Errorf("hits = %d, want 11", p.hits)
+	}
+}
+
+func TestCancelAtFunc(t *testing.T) {
+	sim := New(1)
+	ran := false
+	id := sim.AtFunc(time.Second, func(any) { ran = true }, nil)
+	if !id.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	sim.Run()
+	if ran {
+		t.Error("cancelled AtFunc event ran")
+	}
+}
+
+// TestSteadyStateZeroAlloc locks in the free-list contract: once the heap
+// and pool reach their high-water mark, schedule/fire cycles allocate
+// nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	sim := New(1)
+	tick := func(any) {}
+	// Warm up the pool and heap.
+	for i := 0; i < 256; i++ {
+		sim.AfterFunc(time.Millisecond, tick, nil)
+	}
+	sim.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			sim.AfterFunc(time.Duration(i%7)*time.Millisecond, tick, nil)
+		}
+		sim.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/run allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -228,5 +304,22 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 			sim.At(time.Duration(j%97)*time.Millisecond, func() {})
 		}
 		sim.Run()
+	}
+}
+
+// BenchmarkSteadyStateScheduleFire measures the pooled hot path: one
+// schedule + fire cycle with a warm free list. Expect 0 allocs/op.
+func BenchmarkSteadyStateScheduleFire(b *testing.B) {
+	sim := New(1)
+	tick := func(any) {}
+	for i := 0; i < 1024; i++ {
+		sim.AfterFunc(time.Duration(i%13)*time.Millisecond, tick, nil)
+	}
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.AfterFunc(time.Duration(i%13)*time.Millisecond, tick, nil)
+		sim.Step()
 	}
 }

@@ -83,22 +83,6 @@ func TestRunOneCleanNetworkDeliversEverything(t *testing.T) {
 	}
 }
 
-func TestRunOneDeterministic(t *testing.T) {
-	s := quickScenario()
-	s.Pf = 0.06
-	a, err := RunOne(s, DCRD, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := RunOne(s, DCRD, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Delivered != b.Delivered || a.OnTime != b.OnTime || a.DataTransmissions != b.DataTransmissions {
-		t.Errorf("identical runs diverged: %+v vs %+v", a, b)
-	}
-}
-
 func TestRunPairsApproachesOnSameConditions(t *testing.T) {
 	// The same (seed, topology) cell must register identical expectations
 	// for every approach — same workload, same subscriber sets.

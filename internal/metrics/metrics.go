@@ -9,6 +9,7 @@ package metrics
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/pubsub"
@@ -165,6 +166,9 @@ func (r Result) String() string {
 }
 
 // Result finalizes the collector against the run's data-transmission count.
+// Latencies and LateFactors come out in (packet, node) order so two runs
+// with identical deliveries produce byte-identical Results — the
+// determinism regression tests compare them with reflect.DeepEqual.
 func (c *Collector) Result(dataTransmissions uint64) Result {
 	res := Result{
 		Expected:          len(c.expected),
@@ -173,7 +177,21 @@ func (c *Collector) Result(dataTransmissions uint64) Result {
 		Drops:             c.drops,
 		Published:         c.published,
 	}
-	for k, latency := range c.delivered {
+	keys := make([]key, 0, len(c.delivered))
+	for k := range c.delivered {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b key) int {
+		if a.pkt != b.pkt {
+			if a.pkt < b.pkt {
+				return -1
+			}
+			return 1
+		}
+		return a.node - b.node
+	})
+	for _, k := range keys {
+		latency := c.delivered[k]
 		exp := c.expected[k]
 		res.Latencies = append(res.Latencies, latency)
 		if latency <= exp.deadline {

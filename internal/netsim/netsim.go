@@ -12,6 +12,13 @@
 // far slower than the failure process, which is exactly the regime DCRD's
 // dynamic rerouting targets. Only the ORACLE baseline is allowed to query
 // instantaneous link state via Alive.
+//
+// The transmission path is engineered to be allocation-free in steady
+// state: link lookups go through dense per-directed-pair tables built once
+// at construction (no map hashing), per-link delay/ACK-wait/estimate values
+// are cached, delivery events are pooled and scheduled through the
+// simulator's closure-free AfterFunc, and hop-by-hop ACKs ride in the
+// Frame.Ack tag instead of boxing a payload.
 package netsim
 
 import (
@@ -47,10 +54,15 @@ func (k FrameKind) String() string {
 
 // Frame is a single transmission over one overlay link.
 type Frame struct {
-	ID      uint64
-	From    int
-	To      int
-	Kind    FrameKind
+	ID   uint64
+	From int
+	To   int
+	Kind FrameKind
+	// Ack carries a hop-by-hop acknowledgment: a Control frame with Ack set
+	// acknowledges receipt of the data frame with that ID. Keeping the tag
+	// inline (instead of boxing a one-word payload into Payload) makes the
+	// ACK path allocation-free.
+	Ack     uint64
 	Payload any
 }
 
@@ -184,24 +196,63 @@ type LinkEstimate struct {
 	Gamma float64
 }
 
+// burstWindow is how many recent epochs of Gilbert–Elliott chain state each
+// link retains. The chain is Markov, so extending it only needs the last
+// state; older history is kept as a query window for monitors and tests and
+// truncated beyond it, keeping long simulations flat in memory. Queries
+// before the window replay the chain from epoch zero (cold diagnostic path).
+const burstWindow = 512
+
+// burstChain is one link's materialized Gilbert–Elliott states for epochs
+// [base, base+len(states)).
+type burstChain struct {
+	base   uint64
+	states []bool
+}
+
+// delivery is a pooled in-flight frame: the argument of the scheduled
+// delivery event.
+type delivery struct {
+	n     *Network
+	frame Frame
+}
+
 // Network binds a topology to a discrete-event simulator and implements
 // frame transmission under the configured loss and failure processes.
+//
+// All per-transmission lookups are O(1) over dense arrays indexed by the
+// directed pair from*N+to (about N² words per table — negligible against
+// the simulation state for the paper's 20–160-node overlays).
 type Network struct {
 	sim      *des.Simulator
 	g        *topology.Graph
 	cfg      Config
+	n        int
 	handlers []Handler
-	linkIdx  map[[2]int]int
-	forced   map[[2]int]bool
+	// linkOf[from*n+to] is the undirected link index, or -1 when the pair
+	// is not linked. delayOf and ackWaitOf cache the per-directed-pair
+	// propagation delay and ACK wait (meaningful only where linkOf >= 0).
+	linkOf    []int32
+	delayOf   []time.Duration
+	ackWaitOf []time.Duration
+	// estGamma is the configuration-constant long-run per-transmission
+	// delivery ratio reported by exact monitoring.
+	estGamma float64
+	// slot is one serialization slot (only when the bandwidth model is on).
+	slot     time.Duration
+	forced   []bool // by link index
 	failSeed uint64
 	nextID   uint64
 	stats    Stats
-	// txFree[(from,to)] is when each directed transmitter is next idle,
-	// used by the optional bandwidth/queueing model.
-	txFree map[[2]int]time.Duration
-	// burst caches per-link Gilbert–Elliott state chains (lazily grown)
-	// when MeanFailureBurst > 1.
-	burst [][]bool
+	// txFree[from*n+to] is when each directed transmitter is next idle;
+	// allocated only when the bandwidth/queueing model is active.
+	txFree []time.Duration
+	// burst caches per-link Gilbert–Elliott state chains (lazily grown,
+	// windowed) when MeanFailureBurst > 1.
+	burst []burstChain
+	// free is the delivery-event pool; block bump-allocates new entries.
+	free  []*delivery
+	block []delivery
 }
 
 // New builds a network over g driven by sim. failSeed parameterizes the
@@ -211,23 +262,53 @@ func New(sim *des.Simulator, g *topology.Graph, cfg Config, failSeed uint64) (*N
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	nn := g.N()
 	n := &Network{
-		sim:      sim,
-		g:        g,
-		cfg:      cfg,
-		handlers: make([]Handler, g.N()),
-		linkIdx:  make(map[[2]int]int, g.NumEdges()),
-		forced:   make(map[[2]int]bool),
-		failSeed: failSeed,
-		txFree:   make(map[[2]int]time.Duration),
+		sim:       sim,
+		g:         g,
+		cfg:       cfg,
+		n:         nn,
+		handlers:  make([]Handler, nn),
+		linkOf:    make([]int32, nn*nn),
+		delayOf:   make([]time.Duration, nn*nn),
+		ackWaitOf: make([]time.Duration, nn*nn),
+		forced:    make([]bool, g.NumEdges()),
+		estGamma:  (1 - cfg.LossRate) * (1 - cfg.FailureProb),
+		failSeed:  failSeed,
+	}
+	for i := range n.linkOf {
+		n.linkOf[i] = -1
+	}
+	if cfg.LinkBandwidth > 0 {
+		n.slot = time.Duration(float64(time.Second) / cfg.LinkBandwidth)
+		n.txFree = make([]time.Duration, nn*nn)
 	}
 	for i, l := range g.Links() {
-		n.linkIdx[[2]int{l.From, l.To}] = i
+		wait := 2 * l.Delay
+		if cfg.InstantControl {
+			wait = l.Delay
+		}
+		wait += ackHeadroomSlots * n.slot
+		for _, dir := range [2][2]int{{l.From, l.To}, {l.To, l.From}} {
+			di := dir[0]*nn + dir[1]
+			n.linkOf[di] = int32(i)
+			n.delayOf[di] = l.Delay
+			n.ackWaitOf[di] = wait
+		}
 	}
 	if cfg.MeanFailureBurst > 1 {
-		n.burst = make([][]bool, g.NumEdges())
+		n.burst = make([]burstChain, g.NumEdges())
 	}
 	return n, nil
+}
+
+// pairIndex returns the dense directed-pair index for (from, to), or -1
+// when either endpoint is out of range.
+func (n *Network) pairIndex(from, to int) int {
+	if from < 0 || from >= n.n || to < 0 || to >= n.n {
+		return -1
+	}
+	return from*n.n + to
 }
 
 // Sim returns the driving simulator.
@@ -258,18 +339,18 @@ func (n *Network) NextFrameID() uint64 {
 // instantaneous ground truth: only the ORACLE baseline and test assertions
 // may consult it. Routing protocols must use Estimate.
 func (n *Network) Alive(u, v int, t time.Duration) bool {
-	a, b := topology.Canonical(u, v)
-	idx, ok := n.linkIdx[[2]int{a, b}]
-	if !ok {
+	di := n.pairIndex(u, v)
+	if di < 0 {
 		return false
 	}
-	if n.forced[[2]int{a, b}] {
+	idx := n.linkOf[di]
+	if idx < 0 || n.forced[idx] {
 		return false
 	}
-	if n.nodeFailedAt(a, t) || n.nodeFailedAt(b, t) {
+	if n.nodeFailedAt(u, t) || n.nodeFailedAt(v, t) {
 		return false
 	}
-	return !n.failedAt(idx, t)
+	return !n.failedAt(int(idx), t)
 }
 
 // NodeAlive reports whether broker node u is up at virtual time t under the
@@ -297,21 +378,21 @@ func (n *Network) nodeFailedAt(u int, t time.Duration) bool {
 // independent of the random failure process. Used for failure-injection
 // tests and demos. It returns an error when the link does not exist.
 func (n *Network) ForceDown(u, v int) error {
-	a, b := topology.Canonical(u, v)
-	if _, ok := n.linkIdx[[2]int{a, b}]; !ok {
+	di := n.pairIndex(u, v)
+	if di < 0 || n.linkOf[di] < 0 {
 		return fmt.Errorf("netsim: force-down of missing link (%d,%d)", u, v)
 	}
-	n.forced[[2]int{a, b}] = true
+	n.forced[n.linkOf[di]] = true
 	return nil
 }
 
 // Restore lifts a ForceDown on link (u,v).
 func (n *Network) Restore(u, v int) error {
-	a, b := topology.Canonical(u, v)
-	if _, ok := n.linkIdx[[2]int{a, b}]; !ok {
+	di := n.pairIndex(u, v)
+	if di < 0 || n.linkOf[di] < 0 {
 		return fmt.Errorf("netsim: restore of missing link (%d,%d)", u, v)
 	}
-	delete(n.forced, [2]int{a, b})
+	n.forced[n.linkOf[di]] = false
 	return nil
 }
 
@@ -321,14 +402,11 @@ func (n *Network) Restore(u, v int) error {
 // With Config.MonitorSamples set, use EstimateAt instead — this method
 // keeps returning the exact value.
 func (n *Network) Estimate(u, v int) (LinkEstimate, bool) {
-	d, ok := n.g.LinkDelay(u, v)
-	if !ok {
+	di := n.pairIndex(u, v)
+	if di < 0 || n.linkOf[di] < 0 {
 		return LinkEstimate{}, false
 	}
-	return LinkEstimate{
-		Alpha: d,
-		Gamma: (1 - n.cfg.LossRate) * (1 - n.cfg.FailureProb),
-	}, true
+	return LinkEstimate{Alpha: n.delayOf[di], Gamma: n.estGamma}, true
 }
 
 // EstimateAt returns the monitoring estimate current at virtual time t.
@@ -345,8 +423,7 @@ func (n *Network) EstimateAt(u, v int, t time.Duration) (LinkEstimate, bool) {
 	if n.cfg.MonitorSamples == 0 {
 		return est, true
 	}
-	a, b := topology.Canonical(u, v)
-	idx := n.linkIdx[[2]int{a, b}]
+	idx := int(n.linkOf[n.pairIndex(u, v)])
 	window := uint64(t / n.cfg.MonitorInterval)
 	successes := 0
 	for s := 0; s < n.cfg.MonitorSamples; s++ {
@@ -361,15 +438,53 @@ func (n *Network) EstimateAt(u, v int, t time.Duration) (LinkEstimate, bool) {
 	return est, true
 }
 
+// allocDelivery takes a delivery from the pool.
+func (n *Network) allocDelivery() *delivery {
+	if l := len(n.free); l > 0 {
+		d := n.free[l-1]
+		n.free[l-1] = nil
+		n.free = n.free[:l-1]
+		return d
+	}
+	if len(n.block) == 0 {
+		n.block = make([]delivery, 64)
+	}
+	d := &n.block[0]
+	n.block = n.block[1:]
+	d.n = n
+	return d
+}
+
+// recycleDelivery clears the payload reference and returns d to the pool.
+func (n *Network) recycleDelivery(d *delivery) {
+	d.frame = Frame{}
+	n.free = append(n.free, d)
+}
+
+// deliverFrame is the pooled delivery event callback: it hands the frame to
+// the receiver's handler. The delivery object is recycled before the
+// handler runs so that handlers can transmit re-entrantly.
+func deliverFrame(a any) {
+	d := a.(*delivery)
+	n := d.n
+	frame := d.frame
+	n.recycleDelivery(d)
+	n.stats.Delivered++
+	if h := n.handlers[frame.To]; h != nil {
+		h(frame)
+	}
+}
+
 // Send transmits one frame from frame.From to frame.To. The frame is
 // delivered to the receiver's handler after the link's propagation delay
 // unless the link is failed at send time or the per-transmission loss draw
 // hits. It returns an error if the link does not exist.
 func (n *Network) Send(frame Frame) error {
-	delay, ok := n.g.LinkDelay(frame.From, frame.To)
-	if !ok {
+	di := n.pairIndex(frame.From, frame.To)
+	if di < 0 || n.linkOf[di] < 0 {
 		return fmt.Errorf("netsim: send over missing link (%d,%d)", frame.From, frame.To)
 	}
+	delay := n.delayOf[di]
 	switch frame.Kind {
 	case Data:
 		n.stats.DataTransmissions++
@@ -392,28 +507,23 @@ func (n *Network) Send(frame Frame) error {
 	// Optional bandwidth model: the frame first waits for (and then
 	// occupies) the directed transmitter for one serialization slot.
 	// Control frames (ACKs, adverts) are tiny and exempt.
-	if n.cfg.LinkBandwidth > 0 && frame.Kind == Data {
+	if n.txFree != nil && frame.Kind == Data {
 		now := n.sim.Now()
-		slot := time.Duration(float64(time.Second) / n.cfg.LinkBandwidth)
-		dir := [2]int{frame.From, frame.To}
-		free := n.txFree[dir]
+		free := n.txFree[di]
 		if free < now {
 			free = now
 		}
-		if n.cfg.QueueCapacity > 0 && free-now >= slot*time.Duration(n.cfg.QueueCapacity) {
+		if n.cfg.QueueCapacity > 0 && free-now >= n.slot*time.Duration(n.cfg.QueueCapacity) {
 			n.stats.DroppedQueue++
 			return nil
 		}
-		depart := free + slot
-		n.txFree[dir] = depart
+		depart := free + n.slot
+		n.txFree[di] = depart
 		delay += depart - now
 	}
-	n.sim.After(delay, func() {
-		n.stats.Delivered++
-		if h := n.handlers[frame.To]; h != nil {
-			h(frame)
-		}
-	})
+	d := n.allocDelivery()
+	d.frame = frame
+	n.sim.AfterFunc(delay, deliverFrame, d)
 	return nil
 }
 
@@ -430,19 +540,11 @@ const ackHeadroomSlots = 4
 // serialization slots of headroom when the bandwidth model is active.
 // The boolean reports whether the link exists.
 func (n *Network) AckWait(u, v int) (time.Duration, bool) {
-	d, ok := n.g.LinkDelay(u, v)
-	if !ok {
+	di := n.pairIndex(u, v)
+	if di < 0 || n.linkOf[di] < 0 {
 		return 0, false
 	}
-	wait := 2 * d
-	if n.cfg.InstantControl {
-		wait = d
-	}
-	if n.cfg.LinkBandwidth > 0 {
-		slot := time.Duration(float64(time.Second) / n.cfg.LinkBandwidth)
-		wait += ackHeadroomSlots * slot
-	}
-	return wait, true
+	return n.ackWaitOf[di], true
 }
 
 // NextEpochBoundary returns the first failure-epoch boundary strictly after
@@ -478,32 +580,58 @@ func (n *Network) epochDraw(idx int, epoch uint64) float64 {
 	return float64(h>>11) / float64(1<<53)
 }
 
-// burstFailedAt evaluates the Gilbert–Elliott chain: a failed link recovers
-// each epoch w.p. 1/L; a healthy one fails w.p. Pf/(L(1-Pf)), so the
-// stationary failure probability stays exactly Pf while the mean outage
-// lasts L epochs. States are derived lazily from the same deterministic
-// per-epoch draws as the memoryless model.
-func (n *Network) burstFailedAt(idx int, epoch uint64) bool {
+// burstStep evolves one Gilbert–Elliott step: given the state at epoch-1
+// (ignored when epoch is 0), it returns the state at epoch. A failed link
+// recovers each epoch w.p. 1/L; a healthy one fails w.p. Pf/(L(1-Pf)), so
+// the stationary failure probability stays exactly Pf while the mean outage
+// lasts L epochs. States derive from the same deterministic per-epoch draws
+// as the memoryless model.
+func (n *Network) burstStep(idx int, epoch uint64, prevFailed bool) bool {
 	pf := n.cfg.FailureProb
 	l := n.cfg.MeanFailureBurst
-	pRecover := 1 / l
-	pFail := pf / (l * (1 - pf))
-	states := n.burst[idx]
-	for uint64(len(states)) <= epoch {
-		e := uint64(len(states))
-		u := n.epochDraw(idx, e)
-		var failed bool
-		if e == 0 {
-			failed = u < pf // stationary initial state
-		} else if states[e-1] {
-			failed = u >= pRecover
-		} else {
-			failed = u < pFail
-		}
-		states = append(states, failed)
+	u := n.epochDraw(idx, epoch)
+	switch {
+	case epoch == 0:
+		return u < pf // stationary initial state
+	case prevFailed:
+		return u >= 1/l
+	default:
+		return u < pf/(l*(1-pf))
 	}
-	n.burst[idx] = states
-	return states[epoch]
+}
+
+// burstFailedAt evaluates the windowed Gilbert–Elliott chain. The chain is
+// Markov, so it extends from its last materialized state only; history
+// older than burstWindow epochs is truncated to keep memory flat, and the
+// rare query before the retained window replays the chain from epoch zero.
+func (n *Network) burstFailedAt(idx int, epoch uint64) bool {
+	c := &n.burst[idx]
+	if epoch < c.base {
+		// Cold path: a query behind the retained window (tests or stale
+		// diagnostics). Replay deterministically without storing.
+		failed := false
+		for e := uint64(0); e <= epoch; e++ {
+			failed = n.burstStep(idx, e, failed)
+		}
+		return failed
+	}
+	for c.base+uint64(len(c.states)) <= epoch {
+		e := c.base + uint64(len(c.states))
+		prev := false
+		if len(c.states) > 0 {
+			prev = c.states[len(c.states)-1]
+		}
+		c.states = append(c.states, n.burstStep(idx, e, prev))
+	}
+	if len(c.states) > 2*burstWindow {
+		cut := len(c.states) - burstWindow
+		if keep := epoch - c.base; uint64(cut) > keep {
+			cut = int(keep)
+		}
+		c.base += uint64(cut)
+		c.states = c.states[:copy(c.states, c.states[cut:])]
+	}
+	return c.states[epoch-c.base]
 }
 
 // splitmix64 is the SplitMix64 mixing function, used to derive independent

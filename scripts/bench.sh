@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench.sh — run the end-to-end simulation benchmarks and snapshot the
+# numbers as JSON.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Runs the Approach* and Figure2 benchmarks 5 times with -benchmem, saves
+# the raw `go test` output next to the JSON (for benchstat), and writes the
+# per-benchmark mean ns/op, B/op, allocs/op and custom metrics (qos_ratio)
+# to out.json (default: BENCH_current.json).
+#
+# To compare against the committed baseline:
+#   scripts/bench.sh BENCH_current.json
+#   diff BENCH_baseline.json BENCH_current.json
+#
+# For statistically rigorous before/after comparisons, keep two raw outputs
+# and use benchstat (golang.org/x/perf/cmd/benchstat):
+#   benchstat BENCH_baseline.raw.txt BENCH_current.raw.txt
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_current.json}"
+raw="${out%.json}.raw.txt"
+
+go test -run '^$' -bench 'Approach|Figure2' -benchmem -count 5 -benchtime 2x . | tee "$raw"
+go run ./cmd/benchjson < "$raw" > "$out"
+echo "wrote $out (raw output in $raw)" >&2
