@@ -10,10 +10,19 @@
 package repro
 
 import (
+	"math/rand/v2"
+	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/des"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/topology"
 )
 
 // benchOptions is the laptop-scale setting used by every figure benchmark.
@@ -141,6 +150,98 @@ func BenchmarkExtensionMonitoring(b *testing.B) { benchFigure(b, experiment.Exte
 // BenchmarkExtensionBursts runs the correlated-outage extension: fixed
 // stationary Pf with Gilbert–Elliott bursts of increasing mean length.
 func BenchmarkExtensionBursts(b *testing.B) { benchFigure(b, experiment.ExtensionBursts) }
+
+// newRebuildBench wires a DCRD router over an n-node degree-8 overlay with
+// 10 topics and measurement-based monitoring at the paper's scale: 5-minute
+// windows (§IV) probed at 1 Hz, i.e. 300 samples per link per window. The
+// per-epoch route-table refresh of this deployment is the workload the
+// rebuild engine accelerates.
+func newRebuildBench(b *testing.B, n int, opts core.RouterOptions) (*des.Simulator, *core.Router) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(uint64(n), 0xbe9c))
+	g, err := topology.RandomRegular(n, 8, topology.DefaultDelayRange(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := pubsub.Generate(g, pubsub.Config{
+		Topics:          10,
+		PublishInterval: time.Second,
+		SubProbMin:      0.2,
+		SubProbMax:      0.6,
+		DeadlineFactor:  3,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := des.New(uint64(n))
+	net, err := netsim.New(sim, g, netsim.Config{
+		LossRate:        0.001,
+		FailureProb:     0.06,
+		FailureEpoch:    time.Second,
+		MonitorInterval: 5 * time.Minute,
+		MonitorSamples:  300,
+	}, uint64(n)^0xfa17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.NewRouter(net, w, metrics.NewCollector(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim, r
+}
+
+// BenchmarkRebuild measures one monitoring-epoch route-table refresh per
+// iteration (the simulated clock advances one window each time, so every
+// iteration faces fresh sampled estimates): cold is the from-scratch
+// pre-incremental path, warm the incremental engine (shared snapshot,
+// version check, dirty-pair filter, warm-started builds), parallel the
+// incremental engine with a worker per CPU.
+func BenchmarkRebuild(b *testing.B) {
+	for _, n := range []int{20, 160} {
+		b.Run(benchName("cold", n), func(b *testing.B) {
+			sim, r := newRebuildBench(b, n, core.RouterOptions{})
+			at := 5 * time.Minute
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sim.RunUntil(at)
+				at += 5 * time.Minute
+				b.StartTimer()
+				r.RebuildCold()
+			}
+		})
+		b.Run(benchName("warm", n), func(b *testing.B) {
+			sim, r := newRebuildBench(b, n, core.RouterOptions{})
+			at := 5 * time.Minute
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sim.RunUntil(at)
+				at += 5 * time.Minute
+				b.StartTimer()
+				r.Rebuild()
+			}
+		})
+		b.Run(benchName("parallel", n), func(b *testing.B) {
+			sim, r := newRebuildBench(b, n, core.RouterOptions{RebuildWorkers: runtime.GOMAXPROCS(0)})
+			at := 5 * time.Minute
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sim.RunUntil(at)
+				at += 5 * time.Minute
+				b.StartTimer()
+				r.Rebuild()
+			}
+		})
+	}
+}
+
+// benchName labels a BenchmarkRebuild variant.
+func benchName(mode string, n int) string {
+	return mode + "/n=" + strconv.Itoa(n)
+}
 
 func BenchmarkApproachDCRD(b *testing.B)      { benchApproach(b, experiment.DCRD) }
 func BenchmarkApproachRTree(b *testing.B)     { benchApproach(b, experiment.RTree) }

@@ -1,22 +1,38 @@
-// Command benchjson converts `go test -bench` output into JSON.
+// Command benchjson converts `go test -bench` output into JSON and diffs
+// runs against a committed baseline.
 //
 // It reads standard benchmark lines (including -benchmem columns and custom
 // metrics such as qos_ratio) from stdin, averages repeated -count runs per
 // benchmark, and writes one JSON document to stdout:
 //
-//	go test -run '^$' -bench 'Approach|Figure2' -benchmem -count 5 . | benchjson
+//	go test -run '^$' -bench 'Approach|Figure2|Rebuild' -benchmem -count 5 . | benchjson
 //
 // The output is an object keyed by benchmark name; each entry carries the
 // mean ns/op, B/op and allocs/op over the runs plus any custom metrics
 // (e.g. qos_ratio), ready for diffing against BENCH_baseline.json. For
 // statistically rigorous comparisons use benchstat on the raw output
 // instead; this tool exists to snapshot numbers in a stable format.
+//
+// With -check, benchjson instead compares the run on stdin against a
+// baseline file and exits non-zero on regression:
+//
+//	go test -run '^$' -bench 'Approach|Figure2|Rebuild' . | benchjson -check BENCH_baseline.json
+//
+// A benchmark regresses when its mean ns/op exceeds the baseline's by more
+// than -threshold (default 0.20, i.e. 20%). The baseline may be flat (an
+// object keyed by benchmark name, as emitted by this tool) or sectioned
+// like BENCH_baseline.json, where a "current" section holds the reference
+// numbers and historical sections ("seed", "optimized", ...) are kept for
+// the record. Benchmarks absent from the baseline are reported as new, not
+// failed, so adding a benchmark never breaks the check.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -42,8 +58,35 @@ type Result struct {
 }
 
 func main() {
+	checkPath := flag.String("check", "", "baseline JSON to diff the run on stdin against; exit 1 on ns/op regression")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op increase before -check fails")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *checkPath != "" {
+		baseline, err := loadBaseline(*checkPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !check(os.Stdout, results, baseline, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// parseBench reads `go test -bench` output and returns per-benchmark means.
+func parseBench(r io.Reader) (map[string]Result, error) {
 	entries := map[string]*entry{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -87,18 +130,11 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
 
 	out := map[string]Result{}
-	names := make([]string, 0, len(entries))
-	for name := range entries {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		e := entries[name]
+	for name, e := range entries {
 		n := float64(e.runs)
 		r := Result{
 			Runs:     e.runs,
@@ -114,10 +150,76 @@ func main() {
 		}
 		out[name] = r
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	return out, nil
+}
+
+// loadBaseline reads reference ns/op numbers from a baseline file. Two
+// shapes are understood: the sectioned BENCH_baseline.json (reference
+// numbers under "current", history under other keys) and the flat object
+// this tool emits without -check.
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if cur, ok := raw["current"]; ok {
+		var m map[string]Result
+		if err := json.Unmarshal(cur, &m); err == nil && len(m) > 0 {
+			return m, nil
+		}
+	}
+	m := map[string]Result{}
+	for name, v := range raw {
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(v, &r); err == nil && r.NsPerOp > 0 {
+			m[name] = r
+		}
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries (expected a \"current\" section or top-level Benchmark* keys)", path)
+	}
+	return m, nil
+}
+
+// check prints a per-benchmark comparison and reports whether every
+// benchmark stayed within the allowed ns/op regression.
+func check(w io.Writer, results, baseline map[string]Result, threshold float64) bool {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		cur := results[name]
+		base, found := baseline[name]
+		if !found || base.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  new  %s: %.0f ns/op (no baseline)\n", name, cur.NsPerOp)
+			continue
+		}
+		delta := cur.NsPerOp/base.NsPerOp - 1
+		verdict := "  ok "
+		if delta > threshold {
+			verdict = " FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+			verdict, name, base.NsPerOp, cur.NsPerOp, 100*delta)
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: ns/op regression above %.0f%% threshold\n", 100*threshold)
+	}
+	return ok
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
 }

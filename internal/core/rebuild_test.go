@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/topology"
+)
+
+// tablesEqual compares everything a table exposes to forwarding: the
+// <d, r> parameters, the ordered sending lists and the budgets. Rounds is
+// diagnostics (warm starts converge faster by design) and is excluded.
+func tablesEqual(a, b *Table) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Subscriber != b.Subscriber || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] || a.Budget[i] != b.Budget[i] {
+			return false
+		}
+		if len(a.Lists[i]) != len(b.Lists[i]) {
+			return false
+		}
+		for j := range a.Lists[i] {
+			if a.Lists[i][j] != b.Lists[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWarmStartEqualsColdBuildProperty is the tentpole's correctness pin:
+// for random topologies, random link statistics and random per-epoch
+// perturbations (links degrading, recovering, dying and resurrecting), a
+// warm-started BuildTableIncremental must produce exactly the table a cold
+// build produces — params, lists and budgets bit-for-bit.
+func TestWarmStartEqualsColdBuildProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x7eb))
+		n := 10 + int(seed%8) // 10..17 nodes
+		degree := 3 + int(seed%3)
+		if n*degree%2 != 0 {
+			degree--
+		}
+		g, err := topology.RandomRegular(n, degree, topology.DefaultDelayRange(), rng)
+		if err != nil {
+			return false
+		}
+		// Per-directed-link gamma, evolved across epochs; alpha stays the
+		// propagation delay (monitoring measures it exactly).
+		gamma := make([]float64, n*n)
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(u) {
+				gamma[u*n+e.To] = 0.5 + rng.Float64()*0.5
+			}
+		}
+		stats := func(u, v int) (time.Duration, float64, bool) {
+			d, ok := g.LinkDelay(u, v)
+			if !ok {
+				return 0, 0, false
+			}
+			return d, gamma[u*n+v], true
+		}
+		sub := int(seed>>8) % n
+		tree := topology.Dijkstra(g, 0, nil)
+		budget := BudgetsFromTree(tree, 3*tree.Dist[sub]+10*time.Millisecond)
+		opts := BuildOptions{M: 1 + int(seed>>16)%2}
+
+		prev := BuildTable(g, stats, sub, budget, opts)
+		for epoch := 0; epoch < 6; epoch++ {
+			// Perturb ~30% of links; occasionally kill or resurrect one —
+			// the hard case for incremental rebuilds, because a dead link
+			// coming back can newly enter sending lists it never appeared in.
+			for u := 0; u < n; u++ {
+				for _, e := range g.Neighbors(u) {
+					switch {
+					case rng.Float64() < 0.05:
+						gamma[u*n+e.To] = 0
+					case rng.Float64() < 0.30:
+						gamma[u*n+e.To] = 0.4 + rng.Float64()*0.6
+					}
+				}
+			}
+			cold := BuildTable(g, stats, sub, budget, opts)
+			warm := BuildTableIncremental(g, NewSnapshot(g, stats, opts.M), sub, budget, prev, opts)
+			if !tablesEqual(cold, warm) {
+				t.Logf("seed %d epoch %d: warm table diverged from cold", seed, epoch)
+				return false
+			}
+			prev = warm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newRebuildEnv wires a full multi-topic DCRD deployment over a random
+// 16-node overlay with measurement-based monitoring. Construction is a pure
+// function of the seed, so two calls with equal seeds yield identical
+// networks, workloads and routers — the basis for the incremental-vs-cold
+// cross-checks below.
+func newRebuildEnv(t *testing.T, seed uint64, samples int, opts RouterOptions) (*des.Simulator, *netsim.Network, *Router) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	g, err := topology.RandomRegular(16, 4, topology.DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pubsub.Generate(g, pubsub.Config{
+		Topics:          5,
+		PublishInterval: time.Second,
+		SubProbMin:      0.2,
+		SubProbMax:      0.5,
+		DeadlineFactor:  3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New(seed)
+	net, err := netsim.New(sim, g, netsim.Config{
+		LossRate:        0.01,
+		FailureProb:     0.1,
+		FailureEpoch:    time.Second,
+		MonitorInterval: time.Minute,
+		MonitorSamples:  samples,
+	}, seed^0xfa17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(net, w, metrics.NewCollector(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net, r
+}
+
+// snapshotTables records the router's current table pointers.
+func snapshotTables(r *Router) []map[int]*Table {
+	out := make([]map[int]*Table, len(r.tables))
+	for i, m := range r.tables {
+		cp := make(map[int]*Table, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// TestRebuildUnchangedEstimatesIsNoOp pins the fast path: while the
+// monitoring estimates have not changed, Rebuild must reuse every prior
+// table object (pointer identity, not just equal contents).
+func TestRebuildUnchangedEstimatesIsNoOp(t *testing.T) {
+	sim, _, r := newRebuildEnv(t, 7, 20, RouterOptions{})
+	before := snapshotTables(r)
+
+	// Same monitoring window: the estimate version is unchanged.
+	sim.RunUntil(30 * time.Second)
+	r.Rebuild()
+	after := snapshotTables(r)
+	for topic := range before {
+		for sub, tab := range before[topic] {
+			if after[topic][sub] != tab {
+				t.Fatalf("topic %d sub %d: table replaced within one monitoring window", topic, sub)
+			}
+		}
+	}
+}
+
+// TestRebuildExactEstimatesIsNoOp covers the MonitorSamples = 0 regime:
+// estimates are exact and time-invariant, so every post-construction
+// Rebuild — at any simulated time — must be a no-op.
+func TestRebuildExactEstimatesIsNoOp(t *testing.T) {
+	sim, _, r := newRebuildEnv(t, 11, 0, RouterOptions{})
+	before := snapshotTables(r)
+	for _, at := range []time.Duration{time.Minute, time.Hour} {
+		sim.RunUntil(at)
+		r.Rebuild()
+		after := snapshotTables(r)
+		for topic := range before {
+			for sub, tab := range before[topic] {
+				if after[topic][sub] != tab {
+					t.Fatalf("topic %d sub %d: table replaced under exact estimates", topic, sub)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildMatchesColdAcrossWindows is the end-to-end cross-check: an
+// incremental router (snapshot sharing + dirty-pair filter + warm starts)
+// stepped through many monitoring windows must hold exactly the tables a
+// from-scratch rebuild produces at every window.
+func TestRebuildMatchesColdAcrossWindows(t *testing.T) {
+	const seed, samples = 3, 10 // few samples => noisy, frequently-changing estimates
+	simInc, _, inc := newRebuildEnv(t, seed, samples, RouterOptions{})
+	simCold, _, cold := newRebuildEnv(t, seed, samples, RouterOptions{})
+
+	for w := 1; w <= 12; w++ {
+		at := time.Duration(w) * time.Minute
+		simInc.RunUntil(at)
+		simCold.RunUntil(at)
+		inc.Rebuild()
+		cold.RebuildCold()
+		for topic := range cold.tables {
+			for sub, want := range cold.tables[topic] {
+				if got := inc.tables[topic][sub]; !tablesEqual(got, want) {
+					t.Fatalf("window %d topic %d sub %d: incremental table diverged from cold rebuild", w, topic, sub)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildParallelMatchesSerial pins determinism of the worker-pool
+// path: RebuildWorkers > 1 must produce exactly the serial tables.
+func TestRebuildParallelMatchesSerial(t *testing.T) {
+	const seed, samples = 5, 10
+	simSer, _, serial := newRebuildEnv(t, seed, samples, RouterOptions{})
+	simPar, _, par := newRebuildEnv(t, seed, samples, RouterOptions{RebuildWorkers: 4})
+
+	for w := 1; w <= 8; w++ {
+		at := time.Duration(w) * time.Minute
+		simSer.RunUntil(at)
+		simPar.RunUntil(at)
+		serial.Rebuild()
+		par.Rebuild()
+		for topic := range serial.tables {
+			for sub, want := range serial.tables[topic] {
+				if got := par.tables[topic][sub]; !tablesEqual(got, want) {
+					t.Fatalf("window %d topic %d sub %d: parallel table diverged from serial", w, topic, sub)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/des"
@@ -32,6 +34,13 @@ type RouterOptions struct {
 	// the delivery guarantee even across windows where no live path
 	// exists, at the cost of buffering and late deliveries.
 	Persistent bool
+	// RebuildWorkers bounds the worker pool Rebuild fans independent
+	// (publisher, subscriber) pair builds out over. Values <= 1 build
+	// serially — the default, so routers nested under an already-parallel
+	// harness (experiment.Run's cell pool) do not oversubscribe the CPUs.
+	// Output is deterministic either way: pair builds are pure and results
+	// are installed in index order.
+	RebuildWorkers int
 	// Build tunes the Algorithm-1 table fixpoint.
 	Build BuildOptions
 	// Tracer, when non-nil, receives a per-packet routing timeline
@@ -76,6 +85,12 @@ type Router struct {
 	// (publisher, subscriber) pair.
 	tables []map[int]*Table
 	nodes  []*nodeState
+	// Incremental-rebuild state: estVer is the monitoring-estimate version
+	// the current tables were built from, built marks that a first build
+	// happened, and changedBuf is the reusable changed-link scratch.
+	estVer     uint64
+	built      bool
+	changedBuf [][2]int
 	// setWords is the pathSet bitset length, (N+63)/64.
 	setWords int
 	// Object pools. Backing slices inside recycled objects are kept, so
@@ -133,12 +148,143 @@ func NewRouter(net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, 
 // Name identifies the approach in experiment output.
 func (r *Router) Name() string { return "DCRD" }
 
-// Rebuild re-runs Algorithm 1 for every (publisher, subscriber) pair from
-// the monitoring estimates current at the simulator's clock. Call it at
-// every monitoring epoch when the network models measurement-based
-// estimates (netsim.Config.MonitorSamples > 0); with exact estimates the
-// fixpoint is time-invariant and one build at construction suffices.
+// Rebuild refreshes the Algorithm-1 route tables from the monitoring
+// estimates current at the simulator's clock. Call it at every monitoring
+// epoch when the network models measurement-based estimates
+// (netsim.Config.MonitorSamples > 0); with exact estimates the fixpoint is
+// time-invariant and one build at construction suffices.
+//
+// The refresh is incremental: when the estimate version is unchanged the
+// call is a no-op reusing every prior table; otherwise one shared link-stats
+// Snapshot is built for the epoch, pairs untouched by any changed link keep
+// their tables, and dirty pairs are warm-started from their previous
+// fixpoint. The resulting tables are exactly the tables a from-scratch
+// build would produce (see RebuildCold, which tests cross-check against).
 func (r *Router) Rebuild() {
+	now := r.net.Sim().Now()
+	ver := r.net.EstimateVersion(now)
+	var changed [][2]int
+	if r.built {
+		if ver == r.estVer {
+			return // same estimates, same tables
+		}
+		r.changedBuf = r.net.AppendChangedEstimates(r.estVer, ver, r.changedBuf[:0])
+		r.estVer = ver
+		if len(r.changedBuf) == 0 {
+			return // new window, identical estimates
+		}
+		changed = r.changedBuf
+	} else {
+		r.estVer = ver
+	}
+	r.rebuild(changed)
+	r.built = true
+}
+
+// rebuildJob is one dirty (topic, subscriber) pair queued for (re)building.
+type rebuildJob struct {
+	topic  int
+	sub    int
+	budget []time.Duration
+	prev   *Table
+}
+
+// rebuild (re)builds route tables against one shared snapshot of the
+// current estimates. A nil changed set means everything is dirty (the
+// initial build); otherwise only pairs the changed links can influence are
+// rebuilt, warm-started from their previous tables.
+func (r *Router) rebuild(changed [][2]int) {
+	g := r.net.Graph()
+	now := r.net.Sim().Now()
+	stats := func(u, v int) (time.Duration, float64, bool) {
+		est, ok := r.net.EstimateAt(u, v, now)
+		return est.Alpha, est.Gamma, ok
+	}
+	snap := NewSnapshot(g, stats, r.opts.Build.M)
+
+	var jobs []rebuildJob
+	for _, t := range r.work.Topics() {
+		if r.tables[t.ID] == nil {
+			r.tables[t.ID] = make(map[int]*Table, len(t.Subscribers))
+		}
+		for _, s := range t.Subscribers {
+			prev := r.tables[t.ID][s.Node]
+			var budget []time.Duration
+			if prev != nil {
+				// Budgets depend only on the deadline and the (static)
+				// shortest-path tree, so the previous table's copy is
+				// authoritative across epochs.
+				budget = prev.Budget
+				if changed != nil && !pairAffected(budget, s.Node, changed) {
+					continue
+				}
+			} else {
+				budget = BudgetsFromTree(r.work.PublisherTree(t.ID), s.Deadline)
+			}
+			jobs = append(jobs, rebuildJob{topic: t.ID, sub: s.Node, budget: budget, prev: prev})
+		}
+	}
+
+	results := make([]*Table, len(jobs))
+	if r.opts.RebuildWorkers > 1 && len(jobs) > 1 {
+		workers := r.opts.RebuildWorkers
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					j := jobs[i]
+					results[i] = BuildTableIncremental(g, snap, j.sub, j.budget, j.prev, r.opts.Build)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, j := range jobs {
+			results[i] = BuildTableIncremental(g, snap, j.sub, j.budget, j.prev, r.opts.Build)
+		}
+	}
+	for i, j := range jobs {
+		r.tables[j.topic][j.sub] = results[i]
+	}
+}
+
+// pairAffected reports whether any changed link can influence the pair's
+// Algorithm-1 fixpoint. A changed link (u, v) is relevant in direction
+// u→v only when u could ever send (positive residual budget) and v could
+// ever be admitted (it is the subscriber, whose parameters are pinned, or
+// it has a positive budget — a node with budget <= 0 admits nobody and so
+// stays Unreachable regardless of link statistics). This test is sound —
+// it never skips a pair whose table could differ — while budgets are
+// static per pair, so it costs O(changed links) per pair and no rebuild.
+func pairAffected(budget []time.Duration, sub int, changed [][2]int) bool {
+	for _, l := range changed {
+		u, v := l[0], l[1]
+		if budget[u] > 0 && (v == sub || budget[v] > 0) {
+			return true
+		}
+		if budget[v] > 0 && (u == sub || budget[u] > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// RebuildCold re-runs Algorithm 1 from scratch for every (publisher,
+// subscriber) pair — the pre-incremental reference implementation, kept as
+// the correctness oracle: tests and benchmarks cross-check Rebuild's
+// incremental tables (and measure its speedup) against this path. Each
+// pair pays for its own link-stats snapshot and a cold Jacobi start.
+func (r *Router) RebuildCold() {
 	g := r.net.Graph()
 	now := r.net.Sim().Now()
 	stats := func(u, v int) (time.Duration, float64, bool) {
@@ -153,6 +299,8 @@ func (r *Router) Rebuild() {
 			r.tables[t.ID][s.Node] = BuildTable(g, stats, s.Node, budgets, r.opts.Build)
 		}
 	}
+	r.estVer = r.net.EstimateVersion(now)
+	r.built = true
 }
 
 // Table exposes the route table for a (topic, subscriber) pair, mainly for

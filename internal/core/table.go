@@ -114,14 +114,62 @@ type BuildOptions struct {
 	// M is the number of transmissions tried per neighbor before declaring
 	// failure (the paper's m; default 1).
 	M int
-	// MaxRounds caps the synchronous fixpoint. Zero means 2*N+10.
+	// MaxRounds caps the synchronous fixpoint. Zero means 2*N+10. The
+	// iteration normally stops much earlier, at the first round that
+	// changes no parameter exactly; near-ties can flicker by one
+	// nanosecond forever (the float math under D's integer rounding has
+	// limit cycles), so the cap also serves as the deterministic
+	// tie-break for inputs that never reach an exact fixpoint.
 	MaxRounds int
-	// Tolerance is the convergence threshold on d changes. Zero means 1 µs.
-	Tolerance time.Duration
 	// Ordering is the sending-list policy (RatioOrder unless overridden
 	// for ablation).
 	Ordering Ordering
 }
+
+// Snapshot is the dense (from, to) table of per-link m-transmission
+// statistics shared by every (publisher, subscriber) pair of one rebuild
+// epoch. BuildTable used to materialize this O(n²) table per pair; the
+// rebuild engine now builds one Snapshot per epoch and hands it to every
+// BuildTableIncremental call, which is the dominant saving of the
+// incremental path (the table itself is identical for every pair — link
+// statistics do not depend on the subscriber).
+type Snapshot struct {
+	n int
+	m int
+	// linkDR[u*n+v] is the m-transmission <d, r> of directed link (u, v);
+	// missing links stay Unreachable, which the admission filter skips.
+	linkDR []DR
+}
+
+// NewSnapshot materializes the m-transmission link statistics of every
+// directed link under the supplied monitoring estimates. m < 1 is treated
+// as 1 (matching BuildOptions.M).
+func NewSnapshot(g *topology.Graph, stats LinkStatsFunc, m int) *Snapshot {
+	if m < 1 {
+		m = 1
+	}
+	n := g.N()
+	s := &Snapshot{n: n, m: m, linkDR: make([]DR, n*n)}
+	for i := range s.linkDR {
+		s.linkDR[i] = Unreachable()
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(u) {
+			alpha, gamma, ok := stats(u, e.To)
+			if !ok {
+				continue
+			}
+			s.linkDR[u*n+e.To] = LinkStats(alpha, gamma, m)
+		}
+	}
+	return s
+}
+
+// M returns the transmissions-per-neighbor count the snapshot was built for.
+func (s *Snapshot) M() int { return s.m }
+
+// Link returns the m-transmission statistics of directed link (u, v).
+func (s *Snapshot) Link(u, v int) DR { return s.linkDR[u*s.n+v] }
 
 // BuildTable runs Algorithm 1 to a fixpoint for one (publisher, subscriber)
 // pair: every node receives its neighbors' <d, r> parameters, admits the
@@ -133,32 +181,42 @@ type BuildOptions struct {
 // budget[x] must hold D_XS = D_PS − SP(P, x) (see Workload.PublisherTree);
 // the subscriber's own parameters are pinned at <0, 1>.
 func BuildTable(g *topology.Graph, stats LinkStatsFunc, sub int, budget []time.Duration, opts BuildOptions) *Table {
+	m := opts.M
+	if m < 1 {
+		m = 1
+	}
+	return BuildTableIncremental(g, NewSnapshot(g, stats, m), sub, budget, nil, opts)
+}
+
+// BuildTableIncremental is BuildTable against a shared per-epoch Snapshot,
+// optionally warm-started from the previous epoch's table for the same
+// pair. Warm starting seeds the Jacobi iteration with the previous
+// fixpoint: when the estimates feeding this pair did not effectively move,
+// the very first round reproduces the seed exactly and the build finishes
+// in one round instead of ~network-diameter plus refinement. When the
+// first round does change a parameter, the iteration restarts from
+// all-Unreachable and replays the cold trajectory instead of continuing
+// from the stale seed. The restart is what keeps warm and cold builds
+// bitwise identical: the float dynamics are not monotone (near-ties can
+// flicker by 1 ns forever and more than one attractor can exist), so a
+// trajectory continued from an interior point may settle somewhere a
+// from-scratch build never visits. Cold builds are the canonical output —
+// a deterministic function of (snapshot, budgets, options) alone — and the
+// rebuild property tests cross-check that warm-started tables always
+// equal them exactly. Only Rounds (diagnostics) may differ.
+//
+// The snapshot must have been built with the same M as opts.
+func BuildTableIncremental(g *topology.Graph, snap *Snapshot, sub int, budget []time.Duration, prev *Table, opts BuildOptions) *Table {
 	n := g.N()
 	if opts.M < 1 {
 		opts.M = 1
 	}
+	if snap.m != opts.M || snap.n != n {
+		panic(fmt.Sprintf("core: snapshot built for (n=%d, m=%d), table wants (n=%d, m=%d)",
+			snap.n, snap.m, n, opts.M))
+	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 2*n + 10
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = time.Microsecond
-	}
-
-	// Precompute per-link m-transmission statistics once, in a dense
-	// (from, to) table; missing links stay Unreachable, which the
-	// admission filter skips anyway.
-	linkDR := make([]DR, n*n)
-	for i := range linkDR {
-		linkDR[i] = Unreachable()
-	}
-	for u := 0; u < n; u++ {
-		for _, e := range g.Neighbors(u) {
-			alpha, gamma, ok := stats(u, e.To)
-			if !ok {
-				continue
-			}
-			linkDR[u*n+e.To] = LinkStats(alpha, gamma, opts.M)
-		}
 	}
 
 	t := &Table{
@@ -166,16 +224,37 @@ func BuildTable(g *topology.Graph, stats LinkStatsFunc, sub int, budget []time.D
 		Lists:      make([][]int, n),
 		Budget:     append([]time.Duration(nil), budget...),
 	}
-	// Double-buffered Jacobi iteration: cur holds the previous round's
-	// parameters, next receives this round's. Per-node list buffers are
-	// sized to the degree once and rewritten in place each round; the
-	// final round's contents become the table's sending lists.
+	// Triple-buffered Jacobi iteration: cur holds the previous round's
+	// parameters, next receives this round's, prev2 the round before cur
+	// (for limit-cycle detection). Per-node list buffers are sized to the
+	// degree once and rewritten when a node is recomputed; the last
+	// recomputation's contents become the table's sending lists.
+	//
+	// Two transformations make the iteration cheap without changing one
+	// output bit relative to the plain full-sweep loop:
+	//
+	//  1. Worklist rounds. A node's update is a pure function of its
+	//     neighbors' parameters, so a node none of whose neighbors changed
+	//     in the previous round provably reproduces its current value and
+	//     is skipped. The per-round changed set therefore exactly matches
+	//     the full sweep's, round for round.
+	//  2. Period-2 cycle detection. Near-ties can flicker forever between
+	//     two states one nanosecond apart (float math under D's integer
+	//     rounding); a full sweep would burn the whole MaxRounds cap and
+	//     emit whichever phase the cap's parity lands on. Once the state
+	//     returns to the state two rounds ago, the remaining trajectory is
+	//     a proven alternation, so the build stops immediately and keeps
+	//     the phase the capped sweep would have kept.
 	cur := make([]DR, n)
 	next := make([]DR, n)
-	for x := range cur {
-		cur[x] = Unreachable()
-	}
-	cur[sub] = DR{D: 0, R: 1}
+	prev2 := make([]DR, n)
+	// changedPrev/changedNow list the nodes whose parameters changed in
+	// the previous/current round; needs[x] is a round-stamped mark that x
+	// must be recomputed this round.
+	changedPrev := make([]int, 0, n)
+	changedNow := make([]int, 0, n)
+	needs := make([]int, n)
+	roundNo := 0
 	idsBuf := make([][]int, n)
 	viaBuf := make([][]DR, n)
 	for x := 0; x < n; x++ {
@@ -185,26 +264,91 @@ func BuildTable(g *topology.Graph, stats LinkStatsFunc, sub int, budget []time.D
 		idsBuf[x] = make([]int, 0, g.Degree(x))
 		viaBuf[x] = make([]DR, 0, g.Degree(x))
 	}
-
-	for round := 0; round < opts.MaxRounds; round++ {
-		changed := false
+	// round runs one Jacobi round. With all set it recomputes every node
+	// (seed rounds, where no previous changed set exists); otherwise only
+	// nodes marked in needs. Returns whether any parameter changed and
+	// whether the state provably entered a period-2 cycle.
+	round := func(all bool) (anyChanged, cycle bool) {
+		roundNo++
+		t.Rounds++
+		copy(next, cur)
+		changedNow = changedNow[:0]
+		// cycle stays true only while every change this round returns to
+		// the value of two rounds ago (prev2 is valid from round 2 on).
+		cycle = roundNo >= 2
 		for x := 0; x < n; x++ {
-			if x == sub {
-				next[x] = DR{D: 0, R: 1}
+			if x == sub || (!all && needs[x] != roundNo) {
 				continue
 			}
-			ids, via := admit(g, x, cur, linkDR, n, t.Budget[x], idsBuf[x][:0], viaBuf[x][:0])
+			ids, via := admit(g, x, cur, snap.linkDR, n, t.Budget[x], idsBuf[x][:0], viaBuf[x][:0])
 			idsBuf[x], viaBuf[x] = ids, via
 			opts.Ordering.sortList(via, ids)
 			next[x] = Combine(via)
-			if diverged(cur[x], next[x], opts.Tolerance) {
-				changed = true
+			if next[x] != cur[x] {
+				changedNow = append(changedNow, x)
+				if next[x] != prev2[x] {
+					cycle = false
+				}
 			}
 		}
-		cur, next = next, cur
-		t.Rounds = round + 1
-		if !changed {
-			break
+		anyChanged = len(changedNow) > 0
+		if cycle {
+			// The state equals the state two rounds ago only if every node
+			// out of this round's changed set also sat still last round.
+			for _, x := range changedPrev {
+				if next[x] == cur[x] {
+					cycle = false
+					break
+				}
+			}
+		}
+		// Mark next round's work: neighbors of every changed node.
+		for _, x := range changedNow {
+			for _, e := range g.Neighbors(x) {
+				needs[e.To] = roundNo + 1
+			}
+		}
+		prev2, cur, next = cur, next, prev2
+		changedPrev, changedNow = changedNow, changedPrev
+		return anyChanged, cycle
+	}
+
+	warmHit := false
+	if prev != nil && len(prev.Params) == n {
+		// Warm fast path: one full round from the previous fixpoint. No
+		// change means prev is still the exact fixpoint under the new
+		// snapshot, and the round's list buffers already hold the lists a
+		// cold build would derive from it.
+		copy(cur, prev.Params)
+		cur[sub] = DR{D: 0, R: 1}
+		changed, _ := round(true)
+		warmHit = !changed
+	}
+	if !warmHit {
+		for x := range cur {
+			cur[x] = Unreachable()
+		}
+		cur[sub] = DR{D: 0, R: 1}
+		roundNo = 0
+		changedPrev = changedPrev[:0]
+		for x := range needs {
+			needs[x] = 0
+		}
+		for r := 0; r < opts.MaxRounds; r++ {
+			changed, cycle := round(r == 0)
+			if !changed {
+				break
+			}
+			if cycle {
+				// The trajectory now alternates between cur and prev2
+				// until the cap; keep the phase the cap would emit. An
+				// extra round lands on the other phase when the distance
+				// to the cap is odd.
+				if (opts.MaxRounds-r-1)%2 == 1 {
+					round(false)
+				}
+				break
+			}
 		}
 	}
 	t.Params = cur
@@ -239,25 +383,6 @@ func admit(g *topology.Graph, x int, params []DR, linkDR []DR, n int, budget tim
 		via = append(via, v)
 	}
 	return ids, via
-}
-
-// diverged reports whether two parameter estimates differ beyond tolerance.
-func diverged(a, b DR, tol time.Duration) bool {
-	if a.Reachable() != b.Reachable() {
-		return true
-	}
-	if !a.Reachable() {
-		return false
-	}
-	dd := a.D - b.D
-	if dd < 0 {
-		dd = -dd
-	}
-	dr := a.R - b.R
-	if dr < 0 {
-		dr = -dr
-	}
-	return dd > tol || dr > 1e-9
 }
 
 // List returns node x's sending list. The slice is owned by the table.

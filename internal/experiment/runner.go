@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -110,7 +111,19 @@ func Run(s Scenario, approaches []Approach) ([]Aggregate, error) {
 			}
 		}()
 	}
-	for idx := range cells {
+	// Dispatch longest-job-first: a DCRD cell costs ~6x a tree cell (see
+	// BENCH_baseline.json), so feeding expensive cells to the pool first
+	// cuts tail latency — otherwise a slow cell picked up last idles every
+	// other worker while it finishes. Results are index-addressed, so the
+	// dispatch order never changes the output.
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		return approachCost(approaches[cells[b].approach]) - approachCost(approaches[cells[a].approach])
+	})
+	for _, idx := range order {
 		next <- idx
 	}
 	close(next)
@@ -128,6 +141,26 @@ func Run(s Scenario, approaches []Approach) ([]Aggregate, error) {
 		aggs[c.approach].Runs = append(aggs[c.approach].Runs, results[idx])
 	}
 	return aggs, nil
+}
+
+// approachCost ranks approaches by measured per-cell simulation cost
+// (BENCH_baseline.json ns/op: Multipath > DCRD > Oracle >> D-Tree > R-Tree).
+// Only the relative order matters — it drives longest-job-first dispatch.
+func approachCost(a Approach) int {
+	switch a {
+	case Multipath:
+		return 5
+	case DCRD:
+		return 4
+	case Oracle:
+		return 3
+	case DTree:
+		return 2
+	case RTree:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // RunOne executes one (scenario, approach, topology index) cell and returns
@@ -232,29 +265,67 @@ func buildGraph(s Scenario, rng *rand.Rand) (*topology.Graph, error) {
 	return topology.RandomRegular(s.Nodes, s.Degree, delays, rng)
 }
 
-// schedulePublishes enqueues every publish event up front: each topic's
-// publisher emits one packet per interval, phase-shifted by a random offset
-// so publishers do not fire in lockstep.
+// topicSchedule carries one topic's publish timer: each topic's publisher
+// emits one packet per interval, phase-shifted by a random offset so
+// publishers do not fire in lockstep. Instead of enqueuing every publish
+// event up front (one heap-allocated closure per publish — ~72k for a
+// full-scale 2 h run), each topic re-arms a single self-rescheduling timer
+// through the simulator's closure-free AtFunc.
+type topicSchedule struct {
+	sim      *des.Simulator
+	col      *metrics.Collector
+	proto    Protocol
+	topic    pubsub.Topic
+	interval time.Duration
+	// horizon bounds the schedule: publishes happen strictly before it.
+	horizon time.Duration
+	// at is this timer's current fire time; nextID the packet ID it will
+	// assign. IDs stay contiguous per topic in topic order — exactly the
+	// numbering the old eager loop produced.
+	at     time.Duration
+	nextID uint64
+}
+
+// publishTick emits one packet for the schedule passed as arg and re-arms
+// the timer for the next interval while it stays inside the horizon.
+func publishTick(arg any) {
+	ts := arg.(*topicSchedule)
+	pkt := pubsub.Packet{
+		ID:          ts.nextID,
+		Topic:       ts.topic.ID,
+		Source:      ts.topic.Publisher,
+		PublishedAt: ts.sim.Now(),
+	}
+	ts.col.Publish(&pkt, ts.topic.Subscribers)
+	ts.proto.Publish(pkt)
+	ts.nextID++
+	ts.at += ts.interval
+	if ts.at < ts.horizon {
+		ts.sim.AtFunc(ts.at, publishTick, ts)
+	}
+}
+
+// schedulePublishes arms one self-rescheduling publish timer per topic.
 func schedulePublishes(sim *des.Simulator, w *pubsub.Workload, col *metrics.Collector, proto Protocol, s Scenario, rng *rand.Rand) {
 	var nextID uint64
 	for _, t := range w.Topics() {
-		topic := t
 		offset := time.Duration(rng.Int64N(int64(s.PublishInterval)))
-		for at := offset; at < s.Duration; at += s.PublishInterval {
-			nextID++
-			id := nextID
-			when := at
-			sim.At(when, func() {
-				pkt := pubsub.Packet{
-					ID:          id,
-					Topic:       topic.ID,
-					Source:      topic.Publisher,
-					PublishedAt: sim.Now(),
-				}
-				col.Publish(&pkt, topic.Subscribers)
-				proto.Publish(pkt)
-			})
+		if offset >= s.Duration {
+			continue
 		}
+		ts := &topicSchedule{
+			sim:      sim,
+			col:      col,
+			proto:    proto,
+			topic:    t,
+			interval: s.PublishInterval,
+			horizon:  s.Duration,
+			at:       offset,
+			nextID:   nextID + 1,
+		}
+		// Reserve this topic's contiguous ID block before moving on.
+		nextID += uint64((s.Duration-offset-1)/s.PublishInterval) + 1
+		sim.AtFunc(offset, publishTick, ts)
 	}
 }
 

@@ -424,18 +424,55 @@ func (n *Network) EstimateAt(u, v int, t time.Duration) (LinkEstimate, bool) {
 		return est, true
 	}
 	idx := int(n.linkOf[n.pairIndex(u, v)])
-	window := uint64(t / n.cfg.MonitorInterval)
+	est.Gamma = n.sampledGamma(idx, uint64(t/n.cfg.MonitorInterval))
+	return est, true
+}
+
+// sampledGamma is the deterministic measurement-based delivery-ratio
+// estimate for the idx-th link during one monitoring window: the success
+// fraction of MonitorSamples simulated probe transmissions against the true
+// long-run ratio. Requires MonitorSamples > 0.
+func (n *Network) sampledGamma(idx int, window uint64) float64 {
 	successes := 0
 	for s := 0; s < n.cfg.MonitorSamples; s++ {
 		h := splitmix64(n.failSeed ^ 0x6d6f_6e69_746f_7231 ^
 			splitmix64(uint64(idx)+3) ^ splitmix64(window+5) ^ splitmix64(uint64(s)+7))
 		draw := float64(h>>11) / float64(1<<53)
-		if draw < est.Gamma {
+		if draw < n.estGamma {
 			successes++
 		}
 	}
-	est.Gamma = float64(successes) / float64(n.cfg.MonitorSamples)
-	return est, true
+	return float64(successes) / float64(n.cfg.MonitorSamples)
+}
+
+// EstimateVersion returns the version of the monitoring estimates in force
+// at virtual time t: EstimateAt returns identical values for any two times
+// with the same version. With exact estimates (MonitorSamples == 0) the
+// version is always zero — estimates never change. Route-table rebuild
+// engines key their caches on this.
+func (n *Network) EstimateVersion(t time.Duration) uint64 {
+	if n.cfg.MonitorSamples == 0 {
+		return 0
+	}
+	return uint64(t / n.cfg.MonitorInterval)
+}
+
+// AppendChangedEstimates appends to dst the endpoints of every link whose
+// monitored estimate differs between estimate versions a and b, and returns
+// the extended slice. Equal versions — and exact monitoring, which has a
+// single version — yield no changes. The cost is two probe resamples per
+// link; callers cache per-epoch results (a route-table rebuild does this
+// once per monitoring window, not per pair).
+func (n *Network) AppendChangedEstimates(a, b uint64, dst [][2]int) [][2]int {
+	if n.cfg.MonitorSamples == 0 || a == b {
+		return dst
+	}
+	for i, l := range n.g.Links() {
+		if n.sampledGamma(i, a) != n.sampledGamma(i, b) {
+			dst = append(dst, [2]int{l.From, l.To})
+		}
+	}
+	return dst
 }
 
 // allocDelivery takes a delivery from the pool.

@@ -3,14 +3,20 @@
 # numbers as JSON.
 #
 # Usage:
-#   scripts/bench.sh [out.json]
+#   scripts/bench.sh [out.json]     # snapshot a run to out.json
+#   scripts/bench.sh -check         # diff a fresh run against the baseline
 #
-# Runs the Approach* and Figure2 benchmarks 5 times with -benchmem, saves
-# the raw `go test` output next to the JSON (for benchstat), and writes the
-# per-benchmark mean ns/op, B/op, allocs/op and custom metrics (qos_ratio)
-# to out.json (default: BENCH_current.json).
+# Runs the Approach*, Figure2 and Rebuild benchmarks 5 times with -benchmem,
+# saves the raw `go test` output next to the JSON (for benchstat), and writes
+# the per-benchmark mean ns/op, B/op, allocs/op and custom metrics
+# (qos_ratio) to out.json (default: BENCH_current.json).
 #
-# To compare against the committed baseline:
+# With -check, no snapshot is written: the raw run is piped through
+# `benchjson -check BENCH_baseline.json`, which exits non-zero if any
+# benchmark's mean ns/op regressed by more than 20% against the baseline's
+# "current" section.
+#
+# To compare snapshots by hand:
 #   scripts/bench.sh BENCH_current.json
 #   diff BENCH_baseline.json BENCH_current.json
 #
@@ -21,9 +27,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+bench='Approach|Figure2|Rebuild'
+
+if [ "${1:-}" = "-check" ]; then
+	go test -run '^$' -bench "$bench" -count 5 -benchtime 2x . |
+		go run ./cmd/benchjson -check BENCH_baseline.json
+	exit
+fi
+
 out="${1:-BENCH_current.json}"
 raw="${out%.json}.raw.txt"
 
-go test -run '^$' -bench 'Approach|Figure2' -benchmem -count 5 -benchtime 2x . | tee "$raw"
+go test -run '^$' -bench "$bench" -benchmem -count 5 -benchtime 2x . | tee "$raw"
 go run ./cmd/benchjson < "$raw" > "$out"
 echo "wrote $out (raw output in $raw)" >&2
