@@ -19,12 +19,18 @@
 //	go test -run '^$' -bench 'Approach|Figure2|Rebuild' . | benchjson -check BENCH_baseline.json
 //
 // A benchmark regresses when its mean ns/op exceeds the baseline's by more
-// than -threshold (default 0.20, i.e. 20%). The baseline may be flat (an
+// than -threshold (default 0.20, i.e. 20%), or — for throughput-style
+// custom metrics whose unit ends in "/sec", as the BenchmarkBroker* suite
+// reports (msgs/sec, deliveries/sec) — when the metric falls below the
+// baseline's by more than the same threshold. The baseline may be flat (an
 // object keyed by benchmark name, as emitted by this tool) or sectioned
 // like BENCH_baseline.json, where a "current" section holds the reference
 // numbers and historical sections ("seed", "optimized", ...) are kept for
 // the record. Benchmarks absent from the baseline are reported as new, not
-// failed, so adding a benchmark never breaks the check.
+// failed, so adding a benchmark never breaks the check. (The wire codec's
+// zero-allocs-per-op property is enforced by TestReaderZeroAllocSteadyState
+// in internal/wire, not by this gate: a 0-alloc baseline entry is
+// indistinguishable from one recorded without -benchmem.)
 package main
 
 import (
@@ -189,7 +195,8 @@ func loadBaseline(path string) (map[string]Result, error) {
 }
 
 // check prints a per-benchmark comparison and reports whether every
-// benchmark stayed within the allowed ns/op regression.
+// benchmark stayed within the allowed regression: ns/op must not rise, and
+// any "/sec" throughput metric must not fall, by more than threshold.
 func check(w io.Writer, results, baseline map[string]Result, threshold float64) bool {
 	names := make([]string, 0, len(results))
 	for name := range results {
@@ -212,9 +219,31 @@ func check(w io.Writer, results, baseline map[string]Result, threshold float64) 
 		}
 		fmt.Fprintf(w, "%s %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
 			verdict, name, base.NsPerOp, cur.NsPerOp, 100*delta)
+		units := make([]string, 0, len(base.Metrics))
+		for unit := range base.Metrics {
+			if strings.HasSuffix(unit, "/sec") {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			baseV := base.Metrics[unit]
+			curV, have := cur.Metrics[unit]
+			if !have || baseV <= 0 {
+				continue
+			}
+			mdelta := curV/baseV - 1
+			mverdict := "  ok "
+			if mdelta < -threshold {
+				mverdict = " FAIL"
+				ok = false
+			}
+			fmt.Fprintf(w, "%s %s: %.0f -> %.0f %s (%+.1f%%)\n",
+				mverdict, name, baseV, curV, unit, 100*mdelta)
+		}
 	}
 	if !ok {
-		fmt.Fprintf(w, "benchjson: ns/op regression above %.0f%% threshold\n", 100*threshold)
+		fmt.Fprintf(w, "benchjson: regression above %.0f%% threshold\n", 100*threshold)
 	}
 	return ok
 }

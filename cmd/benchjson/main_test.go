@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+BenchmarkApproachDCRD-8   	       2	   9500000 ns/op	  123456 B/op	    1000 allocs/op	         0.950 qos_ratio
+BenchmarkApproachDCRD-8   	       2	   9700000 ns/op	  123456 B/op	    1000 allocs/op	         0.952 qos_ratio
+BenchmarkBrokerForwardTCP-8 	       2	  10000000 ns/op	    100000 msgs/sec	 3000000 B/op	   36000 allocs/op
+PASS
+`
+
+func TestParseBenchAveragesRunsAndMetrics(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcrd, ok := results["BenchmarkApproachDCRD"]
+	if !ok {
+		t.Fatalf("missing BenchmarkApproachDCRD in %v", results)
+	}
+	if dcrd.Runs != 2 || dcrd.NsPerOp != 9600000 {
+		t.Errorf("DCRD mean: runs=%d ns=%v, want 2 runs at 9.6ms", dcrd.Runs, dcrd.NsPerOp)
+	}
+	if got := dcrd.Metrics["qos_ratio"]; got < 0.95 || got > 0.952 {
+		t.Errorf("qos_ratio mean = %v", got)
+	}
+	fwd := results["BenchmarkBrokerForwardTCP"]
+	if fwd.Metrics["msgs/sec"] != 100000 {
+		t.Errorf("msgs/sec = %v, want 100000", fwd.Metrics["msgs/sec"])
+	}
+}
+
+// TestCheckThroughputRegression pins the broker gate: a >20% drop in a
+// "/sec" metric fails -check even when ns/op stays flat.
+func TestCheckThroughputRegression(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {
+			NsPerOp: 10000000,
+			Metrics: map[string]float64{"msgs/sec": 100000},
+		},
+	}
+	healthy := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {
+			NsPerOp: 10500000,
+			Metrics: map[string]float64{"msgs/sec": 95000},
+		},
+	}
+	var out strings.Builder
+	if !check(&out, healthy, baseline, 0.20) {
+		t.Errorf("healthy run failed check:\n%s", out.String())
+	}
+	slow := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {
+			NsPerOp: 10000000,
+			Metrics: map[string]float64{"msgs/sec": 70000},
+		},
+	}
+	out.Reset()
+	if check(&out, slow, baseline, 0.20) {
+		t.Errorf("30%% throughput drop passed check:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "msgs/sec") {
+		t.Errorf("failure report does not name the metric:\n%s", out.String())
+	}
+}
+
+// TestCheckNsRegressionStillFails keeps the original ns/op rule intact.
+func TestCheckNsRegressionStillFails(t *testing.T) {
+	baseline := map[string]Result{"BenchmarkX": {NsPerOp: 100}}
+	var out strings.Builder
+	if check(&out, map[string]Result{"BenchmarkX": {NsPerOp: 130}}, baseline, 0.20) {
+		t.Errorf("30%% ns/op regression passed check:\n%s", out.String())
+	}
+	out.Reset()
+	if !check(&out, map[string]Result{"BenchmarkX": {NsPerOp: 110}}, baseline, 0.20) {
+		t.Errorf("10%% ns/op increase failed check:\n%s", out.String())
+	}
+	out.Reset()
+	if !check(&out, map[string]Result{"BenchmarkNew": {NsPerOp: 5}}, baseline, 0.20) {
+		t.Errorf("benchmark absent from baseline failed check:\n%s", out.String())
+	}
+}

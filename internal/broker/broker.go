@@ -56,6 +56,10 @@ type Config struct {
 	DialRetry time.Duration
 	// MaxLifetime bounds how long one packet may be retried.
 	MaxLifetime time.Duration
+	// SendQueue is the per-connection outbound queue length (messages)
+	// feeding each writer pipeline; a full queue drops messages after a
+	// brief backpressure wait instead of blocking the sender.
+	SendQueue int
 	// DefaultDeadline applies to publishes that do not carry a deadline.
 	DefaultDeadline time.Duration
 	// Logger receives diagnostics; nil discards them.
@@ -81,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLifetime <= 0 {
 		c.MaxLifetime = 30 * time.Second
+	}
+	if c.SendQueue < 1 {
+		c.SendQueue = defaultSendQueue
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = time.Second

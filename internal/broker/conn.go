@@ -1,7 +1,9 @@
 package broker
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net"
@@ -12,14 +14,148 @@ import (
 	"repro/internal/wire"
 )
 
+// Writer-pipeline tuning. Every connection (neighbor link or client) owns a
+// dedicated writer goroutine fed by a bounded queue: send is an enqueue that
+// never blocks on a syscall, and the writer drains whatever is queued into
+// one coalesced conn.Write per wakeup.
+const (
+	// defaultSendQueue is the per-connection outbound queue length when
+	// Config.SendQueue is unset.
+	defaultSendQueue = 1024
+	// enqueueWait bounds how long send blocks for space on a full queue
+	// before reporting the message dropped (backpressure, not disconnect).
+	enqueueWait = 5 * time.Millisecond
+	// maxFlushBytes caps how many encoded bytes one wakeup coalesces into a
+	// single conn.Write, bounding both latency and the scratch buffer.
+	maxFlushBytes = 256 << 10
+	// writerBufCap is the writer's initial scratch-buffer capacity.
+	writerBufCap = 32 << 10
+	// readBufSize is the buffered-reader size in front of each connection's
+	// frame decoder.
+	readBufSize = 64 << 10
+)
+
+var (
+	errNotConnected  = errors.New("broker: not connected")
+	errSendQueueFull = errors.New("broker: send queue full")
+)
+
+// connWriter is the outbound half of one connection: a bounded message
+// queue drained by a dedicated goroutine (Broker.runWriter). Messages must
+// not be mutated after a successful send — encoding happens later, on the
+// writer goroutine.
+type connWriter struct {
+	conn  net.Conn
+	queue chan wire.Message
+	stop  chan struct{}
+	once  sync.Once
+}
+
+func newConnWriter(conn net.Conn, queueLen int) *connWriter {
+	if queueLen < 1 {
+		queueLen = defaultSendQueue
+	}
+	return &connWriter{
+		conn:  conn,
+		queue: make(chan wire.Message, queueLen),
+		stop:  make(chan struct{}),
+	}
+}
+
+// shutdown stops the writer goroutine; it is idempotent and safe to call
+// from any goroutine.
+func (w *connWriter) shutdown() { w.once.Do(func() { close(w.stop) }) }
+
+// send enqueues one message for the writer. A full queue is given a brief
+// grace period (backpressure) and then the message is dropped with
+// errSendQueueFull; the connection itself stays up — Algorithm 2's
+// retransmit machinery covers dropped data frames, and pings/adverts are
+// periodic anyway.
+func (w *connWriter) send(msg wire.Message) error {
+	select {
+	case <-w.stop:
+		return errNotConnected
+	default:
+	}
+	select {
+	case w.queue <- msg:
+		return nil
+	default:
+	}
+	t := time.NewTimer(enqueueWait)
+	defer t.Stop()
+	select {
+	case w.queue <- msg:
+		return nil
+	case <-w.stop:
+		return errNotConnected
+	case <-t.C:
+		return errSendQueueFull
+	}
+}
+
+// runWriter drains a connection's outbound queue: each wakeup encodes every
+// queued message (up to maxFlushBytes) into one reused buffer and issues a
+// single conn.Write. A write error ends the writer and runs onExit, which
+// drops the connection so the dial loop can re-establish it.
+func (b *Broker) runWriter(w *connWriter, label string, onExit func()) {
+	defer onExit()
+	buf := make([]byte, 0, writerBufCap)
+	for {
+		var msg wire.Message
+		select {
+		case <-w.stop:
+			return
+		case msg = <-w.queue:
+		}
+		buf = b.appendFrameChecked(buf[:0], label, msg)
+	fill:
+		for len(buf) < maxFlushBytes {
+			select {
+			case m := <-w.queue:
+				buf = b.appendFrameChecked(buf, label, m)
+			default:
+				break fill
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		if _, err := w.conn.Write(buf); err != nil {
+			if !b.stopping() {
+				b.logf("%s write: %v", label, err)
+			}
+			return
+		}
+		// An oversized frame can balloon the scratch buffer past the flush
+		// cap; don't let one giant payload pin that memory forever.
+		if cap(buf) > 2*maxFlushBytes {
+			buf = make([]byte, 0, writerBufCap)
+		}
+	}
+}
+
+// appendFrameChecked encodes msg onto buf, dropping (and logging) frames
+// that exceed the wire size limit instead of poisoning the stream.
+func (b *Broker) appendFrameChecked(buf []byte, label string, msg wire.Message) []byte {
+	base := len(buf)
+	buf = wire.AppendFrame(buf, msg)
+	if !wire.FrameFits(buf, base) {
+		b.logf("%s: dropping oversized %v frame", label, msg.Type())
+		return buf[:base]
+	}
+	return buf
+}
+
 // neighborConn is the broker's view of one overlay link: the TCP connection
-// (owned by the lower-ID side), the measured alpha (EWMA of RTT/2) and the
-// adaptive gamma estimate driven by ACK outcomes.
+// (owned by the lower-ID side) with its writer pipeline, the measured alpha
+// (EWMA of RTT/2) and the adaptive gamma estimate driven by ACK outcomes.
 type neighborConn struct {
 	id int
 
 	mu       sync.Mutex
 	conn     net.Conn
+	w        *connWriter
 	alpha    time.Duration
 	gamma    float64
 	lastPing map[uint64]time.Time
@@ -38,6 +174,10 @@ const (
 	alphaWeight = 0.3
 	gammaUp     = 0.05 // gain per successful ACK
 	gammaDown   = 0.5  // multiplicative decay per timeout
+
+	// maxPingTokens bounds lastPing against lost pongs; on overflow the
+	// oldest half is evicted.
+	maxPingTokens = 64
 )
 
 func newNeighborConn(id int) *neighborConn {
@@ -63,52 +203,67 @@ func (nc *neighborConn) connected() bool {
 	return nc.conn != nil
 }
 
-// attach installs a TCP connection, replacing any previous one.
-func (nc *neighborConn) attach(conn net.Conn) {
+// attach installs a TCP connection, replacing any previous one, and starts
+// its writer pipeline.
+func (nc *neighborConn) attach(b *Broker, conn net.Conn) {
+	w := newConnWriter(conn, b.cfg.SendQueue)
 	nc.mu.Lock()
-	old := nc.conn
-	nc.conn = conn
+	old, oldW := nc.conn, nc.w
+	nc.conn, nc.w = conn, w
 	nc.mu.Unlock()
+	if oldW != nil {
+		oldW.shutdown()
+	}
 	if old != nil {
 		_ = old.Close()
 	}
+	b.goTracked(func() {
+		b.runWriter(w, fmt.Sprintf("neighbor %d", nc.id), func() { nc.detach(conn) })
+	})
 }
 
-// detach drops the connection if it is still the given one.
+// detach drops the connection (and stops its writer) if it is still the
+// given one.
 func (nc *neighborConn) detach(conn net.Conn) {
 	nc.mu.Lock()
+	var w *connWriter
 	if nc.conn == conn {
 		nc.conn = nil
+		w, nc.w = nc.w, nil
 	}
 	nc.mu.Unlock()
+	if w != nil {
+		w.shutdown()
+	}
 	_ = conn.Close()
 }
 
 // close tears the link down.
 func (nc *neighborConn) close() {
 	nc.mu.Lock()
-	conn := nc.conn
-	nc.conn = nil
+	conn, w := nc.conn, nc.w
+	nc.conn, nc.w = nil, nil
 	nc.mu.Unlock()
+	if w != nil {
+		w.shutdown()
+	}
 	if conn != nil {
 		_ = conn.Close()
 	}
 }
 
-// send writes one message to the neighbor. Write errors drop the
-// connection; the dial loop will re-establish it.
+// send enqueues one message for the neighbor's writer pipeline. The message
+// must not be mutated afterwards. Write errors are handled by the writer
+// (connection dropped, dial loop re-establishes); a full queue only drops
+// this message.
 func (nc *neighborConn) send(msg wire.Message) error {
 	nc.mu.Lock()
-	defer nc.mu.Unlock()
-	if nc.conn == nil {
-		return errors.New("broker: neighbor not connected")
+	w := nc.w
+	nc.mu.Unlock()
+	if w == nil {
+		return errNotConnected
 	}
-	if err := wire.Write(nc.conn, msg); err != nil {
-		_ = nc.conn.Close()
-		nc.conn = nil
-		return err
-	}
-	return nil
+	return w.send(msg)
 }
 
 // recordPing remembers an outgoing ping token.
@@ -116,13 +271,19 @@ func (nc *neighborConn) recordPing(token uint64, at time.Time) {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
 	nc.lastPing[token] = at
-	// Bound the token map against lost pongs.
-	if len(nc.lastPing) > 64 {
-		for t := range nc.lastPing {
-			if len(nc.lastPing) <= 32 {
-				break
+	// Bound the token map against lost pongs, evicting oldest-first so the
+	// most recent in-flight pings (whose pongs are still expected) survive.
+	if len(nc.lastPing) > maxPingTokens {
+		for len(nc.lastPing) > maxPingTokens/2 {
+			var oldestTok uint64
+			var oldestAt time.Time
+			first := true
+			for t, sent := range nc.lastPing {
+				if first || sent.Before(oldestAt) {
+					oldestTok, oldestAt, first = t, sent, false
+				}
 			}
-			delete(nc.lastPing, t)
+			delete(nc.lastPing, oldestTok)
 		}
 	}
 }
@@ -165,17 +326,17 @@ func (nc *neighborConn) ackTimedOut() {
 	}
 }
 
-// clientConn is one connected publisher/subscriber.
+// clientConn is one connected publisher/subscriber with its writer pipeline.
 type clientConn struct {
 	name string
-	mu   sync.Mutex
 	conn net.Conn
+	w    *connWriter
 }
 
+// send enqueues one message for the client's writer pipeline. The message
+// must not be mutated afterwards.
 func (c *clientConn) send(msg wire.Message) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return wire.Write(c.conn, msg)
+	return c.w.send(msg)
 }
 
 // acceptLoop handles inbound connections: the first frame must be a Hello
@@ -223,7 +384,7 @@ func (b *Broker) handleNeighborConn(id int, conn net.Conn) {
 		return
 	}
 	nc := b.neighbor(id)
-	nc.attach(conn)
+	nc.attach(b, conn)
 	b.logf("neighbor %d connected (inbound)", id)
 	b.readNeighbor(nc, conn)
 }
@@ -262,17 +423,21 @@ func (b *Broker) dialLoop(id int, addr string) {
 			_ = conn.Close()
 			continue
 		}
-		nc.attach(conn)
+		nc.attach(b, conn)
 		b.logf("neighbor %d connected (outbound)", id)
 		b.readNeighbor(nc, conn)
 	}
 }
 
-// readNeighbor pumps frames from one broker link until it fails.
+// readNeighbor pumps frames from one broker link until it fails. Decoding
+// goes through a pooled wire.Reader over a buffered reader: messages handed
+// to handleNeighborMsg are recycled on the next frame, so handlers must not
+// retain them (or their slices) past return.
 func (b *Broker) readNeighbor(nc *neighborConn, conn net.Conn) {
 	defer nc.detach(conn)
+	rd := wire.NewReader(bufio.NewReaderSize(conn, readBufSize))
 	for {
-		msg, err := wire.Read(conn)
+		msg, err := rd.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !b.stopping() {
 				b.logf("neighbor %d read: %v", nc.id, err)
@@ -283,7 +448,8 @@ func (b *Broker) readNeighbor(nc *neighborConn, conn net.Conn) {
 	}
 }
 
-// handleNeighborMsg dispatches one frame from a neighbor broker.
+// handleNeighborMsg dispatches one frame from a neighbor broker. msg is
+// owned by the caller's Reader and recycled after return.
 func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 	switch m := msg.(type) {
 	case *wire.Ping:
@@ -302,9 +468,11 @@ func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 	}
 }
 
-// handleClientConn registers a client and pumps its requests.
+// handleClientConn registers a client, starts its writer pipeline and pumps
+// its requests through a pooled Reader (messages recycled per frame, same
+// ownership rule as readNeighbor).
 func (b *Broker) handleClientConn(name string, conn net.Conn) {
-	c := &clientConn{name: name, conn: conn}
+	c := &clientConn{name: name, conn: conn, w: newConnWriter(conn, b.cfg.SendQueue)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -313,6 +481,9 @@ func (b *Broker) handleClientConn(name string, conn net.Conn) {
 	}
 	b.clients[c] = struct{}{}
 	b.mu.Unlock()
+	b.goTracked(func() {
+		b.runWriter(c.w, "client "+name, func() { _ = conn.Close() })
+	})
 	defer func() {
 		b.mu.Lock()
 		delete(b.clients, c)
@@ -326,10 +497,12 @@ func (b *Broker) handleClientConn(name string, conn net.Conn) {
 		}
 		b.mu.Unlock()
 		b.recomputeLocalRoutes()
+		c.w.shutdown()
 		_ = conn.Close()
 	}()
+	rd := wire.NewReader(bufio.NewReaderSize(conn, readBufSize))
 	for {
-		msg, err := wire.Read(conn)
+		msg, err := rd.Next()
 		if err != nil {
 			return
 		}

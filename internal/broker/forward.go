@@ -45,6 +45,10 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 	if deadline <= 0 {
 		deadline = b.cfg.DefaultDeadline
 	}
+	// m belongs to the read loop's pooled Reader and is recycled on the next
+	// frame, while the routed copy and the queued deliveries outlive this
+	// call: take one stable copy of the payload.
+	payload := append([]byte(nil), m.Payload...)
 	now := time.Now()
 	b.mu.Lock()
 	if b.closed {
@@ -62,7 +66,7 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 		source:      int32(b.cfg.ID),
 		publishedAt: now,
 		deadline:    deadline,
-		payload:     m.Payload,
+		payload:     payload,
 		pathSet:     map[int32]bool{int32(b.cfg.ID): true},
 		upstream:    -1,
 		pending:     make(map[int32]bool),
@@ -81,11 +85,11 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 	b.mu.Unlock()
 
 	b.deliver(deliverTo, &wire.Deliver{
-		Topic:       m.Topic,
+		Topic:       pc.topic,
 		PacketID:    pc.packetID,
 		Source:      pc.source,
 		PublishedAt: now,
-		Payload:     m.Payload,
+		Payload:     payload,
 	})
 }
 
@@ -102,13 +106,17 @@ func (b *Broker) handleData(from int, m *wire.Data) {
 		return
 	}
 
+	// m is recycled by the read loop's pooled Reader after return; the
+	// packet copy (held across ACK timers) and any queued deliveries need a
+	// stable payload, so copy it once here.
+	payload := append([]byte(nil), m.Payload...)
 	pc := &packetCopy{
 		packetID:    m.PacketID,
 		topic:       m.Topic,
 		source:      m.Source,
 		publishedAt: m.PublishedAt,
 		deadline:    m.Deadline,
-		payload:     m.Payload,
+		payload:     payload,
 		path:        append([]int32(nil), m.Path...),
 		pathSet:     make(map[int32]bool, len(m.Path)+1),
 		upstream:    upstreamOf(int32(b.cfg.ID), m.Path),
@@ -133,7 +141,7 @@ func (b *Broker) handleData(from int, m *wire.Data) {
 				PacketID:    m.PacketID,
 				Source:      m.Source,
 				PublishedAt: m.PublishedAt,
-				Payload:     m.Payload,
+				Payload:     payload,
 			}
 			continue
 		}

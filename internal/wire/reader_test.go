@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// allTypesCorpus is one representative message per wire type.
+func allTypesCorpus() []Message {
+	at := time.Unix(0, 1720000000123456789)
+	return []Message{
+		&Hello{BrokerID: 7, Name: "broker-7"},
+		&Hello{BrokerID: -1, Name: ""},
+		&Data{
+			FrameID: 42, PacketID: 99, Topic: 3, Source: 1,
+			PublishedAt: at, Deadline: 150 * time.Millisecond,
+			Dests: []int32{2, 5, 9}, Path: []int32{1, 4, 1},
+			Payload: []byte("position report"),
+		},
+		&Data{FrameID: 1, PacketID: 2, PublishedAt: time.Unix(0, 0)},
+		&Ack{FrameID: 12345678901234},
+		&Advert{Topic: 2, Sub: 8, D: 75 * time.Millisecond, R: 0.987, Deadline: time.Second},
+		&Advert{Gone: true},
+		&Ping{Token: 555},
+		&Pong{Token: 556},
+		&Subscribe{Topic: 4, Deadline: 200 * time.Millisecond},
+		&Unsubscribe{Topic: 9},
+		&Publish{Topic: 4, Deadline: time.Second, Payload: []byte{0, 1, 2, 255}},
+		&Publish{},
+		&Deliver{Topic: 4, PacketID: 77, Source: 2, PublishedAt: at, Payload: []byte("x")},
+		&StatsRequest{Token: 31337},
+		&StatsReply{
+			Token: 31337, BrokerID: 2,
+			Published: 10, Delivered: 20, Forwarded: 30, Dropped: 1,
+			Neighbors: []NeighborStat{
+				{ID: 1, Connected: true, Alpha: 12 * time.Millisecond, Gamma: 0.97},
+			},
+			Routes: []RouteStat{
+				{Topic: 3, Sub: 1, D: 45 * time.Millisecond, R: 0.93, ListLen: 2},
+			},
+		},
+		&StatsReply{Token: 1},
+	}
+}
+
+// TestAppendFrameMatchesWrite pins the append encoder to the wire format
+// Write emits: byte-identical frames for every message type.
+func TestAppendFrameMatchesWrite(t *testing.T) {
+	for _, msg := range allTypesCorpus() {
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			t.Fatalf("Write(%v): %v", msg.Type(), err)
+		}
+		frame := AppendFrame(nil, msg)
+		if !bytes.Equal(buf.Bytes(), frame) {
+			t.Errorf("%v: AppendFrame differs from Write:\n  write  %x\n  append %x",
+				msg.Type(), buf.Bytes(), frame)
+		}
+	}
+}
+
+// TestAppendFrameAppends verifies AppendFrame extends dst in place so
+// multiple frames coalesce into one valid stream.
+func TestAppendFrameAppends(t *testing.T) {
+	msgs := []Message{&Ping{Token: 1}, &Ack{FrameID: 2}, &Hello{BrokerID: 3, Name: "x"}}
+	var stream []byte
+	for _, m := range msgs {
+		stream = AppendFrame(stream, m)
+	}
+	rd := NewReader(bytes.NewReader(stream))
+	for i, want := range msgs {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("frame %d mismatch: %#v vs %#v", i, want, got)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Errorf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+// TestReaderRoundTripAllTypes decodes every message type through the pooled
+// Reader and compares against the original.
+func TestReaderRoundTripAllTypes(t *testing.T) {
+	for _, msg := range allTypesCorpus() {
+		t.Run(msg.Type().String(), func(t *testing.T) {
+			rd := NewReader(bytes.NewReader(AppendFrame(nil, msg)))
+			got, err := rd.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if !reflect.DeepEqual(msg, got) {
+				t.Errorf("round trip mismatch:\n sent %#v\n got  %#v", msg, got)
+			}
+		})
+	}
+}
+
+// TestReaderReusesStructs verifies the ownership contract: the message
+// returned by Next is recycled, so frame N's content overwrites frame N-1's,
+// and slice fields shrink correctly between frames.
+func TestReaderReusesStructs(t *testing.T) {
+	big := &Data{
+		FrameID: 1, PacketID: 1, PublishedAt: time.Unix(0, 1),
+		Dests: []int32{1, 2, 3, 4, 5}, Path: []int32{9, 8, 7},
+		Payload: bytes.Repeat([]byte("A"), 512),
+	}
+	small := &Data{
+		FrameID: 2, PacketID: 2, PublishedAt: time.Unix(0, 2),
+		Dests: []int32{6}, Payload: []byte("b"),
+	}
+	stream := AppendFrame(AppendFrame(nil, big), small)
+	rd := NewReader(bytes.NewReader(stream))
+
+	first, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, ok := first.(*Data)
+	if !ok {
+		t.Fatalf("first frame is %T", first)
+	}
+	if len(d1.Dests) != 5 || len(d1.Payload) != 512 {
+		t.Fatalf("first decode wrong: %d dests, %d payload", len(d1.Dests), len(d1.Payload))
+	}
+	second, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, ok := second.(*Data)
+	if !ok {
+		t.Fatalf("second frame is %T", second)
+	}
+	if d2 != d1 {
+		t.Error("Reader handed out distinct Data structs; expected recycling")
+	}
+	if d2.FrameID != 2 || len(d2.Dests) != 1 || d2.Dests[0] != 6 ||
+		string(d2.Payload) != "b" || len(d2.Path) != 0 {
+		t.Errorf("second decode carries stale state: %+v", d2)
+	}
+}
+
+// TestReaderZeroAllocSteadyState pins the headline property: after warm-up,
+// decoding frames through a Reader does not allocate.
+func TestReaderZeroAllocSteadyState(t *testing.T) {
+	msg := &Data{
+		FrameID: 1, PacketID: 2, Topic: 3, Source: 4,
+		PublishedAt: time.Unix(0, 12345), Deadline: time.Second,
+		Dests: []int32{1, 2, 3}, Path: []int32{0, 5},
+		Payload: bytes.Repeat([]byte("x"), 256),
+	}
+	frame := AppendFrame(nil, msg)
+	src := &loopFrames{frames: frame}
+	rd := NewReader(src)
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reader.Next allocates %.1f objects/frame in steady state, want 0", allocs)
+	}
+	encodeAllocs := testing.AllocsPerRun(100, func() {
+		frame = AppendFrame(frame[:0], msg)
+	})
+	if encodeAllocs != 0 {
+		t.Errorf("AppendFrame allocates %.1f objects/frame with a warm buffer, want 0", encodeAllocs)
+	}
+}
+
+// TestReaderRejectsMalformed mirrors the Read error tests on the pooled
+// path.
+func TestReaderRejectsMalformed(t *testing.T) {
+	cases := map[string]struct {
+		raw  []byte
+		want error
+	}{
+		"unknown type": {[]byte{0, 0, 0, 1, 200}, ErrUnknownType},
+		"oversized":    {[]byte{0xFF, 0xFF, 0xFF, 0xFF, 1}, ErrFrameTooLarge},
+		"empty frame":  {[]byte{0, 0, 0, 0}, ErrTruncated},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			rd := NewReader(bytes.NewReader(tc.raw))
+			if _, err := rd.Next(); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	t.Run("trailing bytes", func(t *testing.T) {
+		raw := AppendFrame(nil, &Ack{FrameID: 9})
+		raw = append(raw, 0xAA)
+		raw[3]++
+		rd := NewReader(bytes.NewReader(raw))
+		if _, err := rd.Next(); err == nil {
+			t.Error("frame with trailing bytes accepted")
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		raw := AppendFrame(nil, &Data{FrameID: 1, PacketID: 2, PublishedAt: time.Unix(0, 0), Payload: []byte("hello")})
+		for cut := 6; cut < len(raw)-1; cut += 7 {
+			chopped := append([]byte(nil), raw[:cut]...)
+			bodyLen := cut - 4
+			chopped[0], chopped[1], chopped[2], chopped[3] = 0, 0, byte(bodyLen>>8), byte(bodyLen)
+			rd := NewReader(bytes.NewReader(chopped))
+			if _, err := rd.Next(); err == nil {
+				t.Errorf("cut at %d: truncated frame accepted", cut)
+			}
+		}
+	})
+}
+
+// TestReadThenReaderOnSameStream models the broker handshake: the Hello is
+// read with the convenience Read, then the connection's remaining frames go
+// through a pooled Reader. Nothing may be lost at the switch.
+func TestReadThenReaderOnSameStream(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, &Hello{BrokerID: 4, Name: "b"})
+	stream = AppendFrame(stream, &Ping{Token: 77})
+	src := bytes.NewReader(stream)
+	first, err := Read(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := first.(*Hello); !ok || h.BrokerID != 4 {
+		t.Fatalf("first frame = %#v", first)
+	}
+	rd := NewReader(src)
+	second, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := second.(*Ping); !ok || p.Token != 77 {
+		t.Fatalf("second frame = %#v", second)
+	}
+}
+
+// TestWriteRejectsOversizedFrame keeps the compatibility wrapper's frame
+// bound intact on the new encode path.
+func TestWriteRejectsOversizedFrame(t *testing.T) {
+	msg := &Publish{Payload: make([]byte, MaxFrameSize+1)}
+	if err := Write(io.Discard, msg); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}

@@ -12,15 +12,22 @@
 // are uint16 count + int32 entries. The protocol is deliberately simple —
 // fixed encodings, no varints, no compression — so a broker can be
 // implemented in any language from this file alone.
+//
+// The codec offers two tiers. Write and Read are the convenience API: one
+// frame per call, freshly allocated messages, safe to retain. The zero-
+// allocation tier underneath is what the broker data plane uses: AppendFrame
+// encodes into a caller-supplied byte slice (grow-once, reuse forever), and
+// Reader decodes a frame stream into per-reader message structs whose
+// buffers are recycled across frames.
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -102,7 +109,7 @@ var (
 type Message interface {
 	// Type returns the message's wire tag.
 	Type() Type
-	encode(*bytes.Buffer)
+	appendBody(dst []byte) []byte
 	decode(*reader) error
 }
 
@@ -249,26 +256,61 @@ func (*Deliver) Type() Type      { return TypeDeliver }
 func (*StatsRequest) Type() Type { return TypeStatsRequest }
 func (*StatsReply) Type() Type   { return TypeStatsReply }
 
-// Write encodes msg and writes one frame to w.
+// AppendFrame appends one complete encoded frame for msg — length header,
+// type tag and body — to dst and returns the extended slice. It never
+// allocates beyond growing dst, so a caller that reuses its buffer encodes
+// frames allocation-free; multiple frames appended to the same buffer form
+// a valid stream for a single coalesced write.
+//
+// AppendFrame does not enforce MaxFrameSize (it cannot fail); callers
+// handing frames to a peer should check FrameFits first or bound their
+// inputs.
+func AppendFrame(dst []byte, msg Message) []byte {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(msg.Type()))
+	dst = msg.appendBody(dst)
+	binary.BigEndian.PutUint32(dst[base:], uint32(len(dst)-base-4))
+	return dst
+}
+
+// FrameFits reports whether the frame appended to buf starting at base (as
+// returned by len(dst) before an AppendFrame call) respects MaxFrameSize.
+func FrameFits(buf []byte, base int) bool {
+	return len(buf)-base-4 <= MaxFrameSize
+}
+
+// frameBufPool recycles encode buffers for the Write convenience path.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// pooledBufMaxCap bounds the capacity of buffers returned to the pool so a
+// single giant frame does not pin megabytes forever.
+const pooledBufMaxCap = 1 << 20
+
+// Write encodes msg and writes one frame to w with a single Write call,
+// using a pooled buffer.
 func Write(w io.Writer, msg Message) error {
-	var body bytes.Buffer
-	body.WriteByte(byte(msg.Type()))
-	msg.encode(&body)
-	if body.Len() > MaxFrameSize {
+	bp := frameBufPool.Get().(*[]byte)
+	buf := AppendFrame((*bp)[:0], msg)
+	*bp = buf[:0]
+	defer func() {
+		if cap(buf) <= pooledBufMaxCap {
+			frameBufPool.Put(bp)
+		}
+	}()
+	if !FrameFits(buf, 0) {
 		return ErrFrameTooLarge
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(body.Len()))
-	if _, err := w.Write(header[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := w.Write(body.Bytes()); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
-// Read reads one frame from r and decodes it.
+// Read reads one frame from r and decodes it into a freshly allocated
+// message that the caller may retain. Connection read loops that care about
+// allocation pressure should use a Reader instead.
 func Read(r io.Reader) (Message, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
@@ -297,6 +339,108 @@ func Read(r io.Reader) (Message, error) {
 		return nil, fmt.Errorf("wire: %v has %d trailing bytes", msg.Type(), len(rd.buf))
 	}
 	return msg, nil
+}
+
+// Reader decodes a frame stream with buffer and message reuse: the body
+// buffer grows once to the stream's working set, and each message type has
+// one struct per Reader that is recycled across frames. After warm-up,
+// Next decodes without allocating.
+//
+// The returned Message — including every slice it references (Payload,
+// Dests, Path, Neighbors, Routes) — is owned by the Reader and is only
+// valid until the next call to Next. Callers that retain any of it past
+// that point must copy. A Reader serves one goroutine.
+type Reader struct {
+	r    io.Reader
+	head [4]byte
+	body []byte
+	dec  reader
+
+	hello        Hello
+	data         Data
+	ack          Ack
+	advert       Advert
+	ping         Ping
+	pong         Pong
+	subscribe    Subscribe
+	unsubscribe  Unsubscribe
+	publish      Publish
+	deliver      Deliver
+	statsRequest StatsRequest
+	statsReply   StatsReply
+}
+
+// NewReader returns a Reader decoding frames from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Next reads and decodes one frame. See the Reader doc for the ownership
+// rules of the returned Message. io.EOF passes through unchanged for clean
+// shutdown; any other error invalidates the stream.
+func (rd *Reader) Next() (Message, error) {
+	if _, err := io.ReadFull(rd.r, rd.head[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(rd.head[:])
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if size == 0 {
+		return nil, ErrTruncated
+	}
+	if cap(rd.body) < int(size) {
+		rd.body = make([]byte, size)
+	}
+	body := rd.body[:size]
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	msg := rd.message(Type(body[0]))
+	if msg == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, body[0])
+	}
+	rd.dec = reader{buf: body[1:]}
+	if err := msg.decode(&rd.dec); err != nil {
+		return nil, err
+	}
+	if len(rd.dec.buf) != 0 {
+		return nil, fmt.Errorf("wire: %v has %d trailing bytes", msg.Type(), len(rd.dec.buf))
+	}
+	return msg, nil
+}
+
+// message returns the Reader's recycled struct for a wire tag, or nil for
+// unknown tags.
+func (rd *Reader) message(t Type) Message {
+	switch t {
+	case TypeHello:
+		return &rd.hello
+	case TypeData:
+		return &rd.data
+	case TypeAck:
+		return &rd.ack
+	case TypeAdvert:
+		return &rd.advert
+	case TypePing:
+		return &rd.ping
+	case TypePong:
+		return &rd.pong
+	case TypeSubscribe:
+		return &rd.subscribe
+	case TypeUnsubscribe:
+		return &rd.unsubscribe
+	case TypePublish:
+		return &rd.publish
+	case TypeDeliver:
+		return &rd.deliver
+	case TypeStatsRequest:
+		return &rd.statsRequest
+	case TypeStatsReply:
+		return &rd.statsReply
+	default:
+		return nil
+	}
 }
 
 // newMessage allocates the message struct for a wire tag.
@@ -333,50 +477,41 @@ func newMessage(t Type) (Message, error) {
 
 // --- primitive encoders ---
 
-func putU64(b *bytes.Buffer, v uint64) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], v)
-	b.Write(tmp[:])
-}
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
 
-func putI64(b *bytes.Buffer, v int64) { putU64(b, uint64(v)) }
+func appendI64(dst []byte, v int64) []byte { return appendU64(dst, uint64(v)) }
 
-func putU32(b *bytes.Buffer, v uint32) {
-	var tmp [4]byte
-	binary.BigEndian.PutUint32(tmp[:], v)
-	b.Write(tmp[:])
-}
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
 
-func putI32(b *bytes.Buffer, v int32) { putU32(b, uint32(v)) }
+func appendI32(dst []byte, v int32) []byte { return appendU32(dst, uint32(v)) }
 
-func putU16(b *bytes.Buffer, v uint16) {
-	var tmp [2]byte
-	binary.BigEndian.PutUint16(tmp[:], v)
-	b.Write(tmp[:])
-}
+func appendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
 
-func putF64(b *bytes.Buffer, v float64) { putU64(b, math.Float64bits(v)) }
+func appendF64(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) }
 
-func putBool(b *bytes.Buffer, v bool) {
+func appendBool(dst []byte, v bool) []byte {
 	if v {
-		b.WriteByte(1)
-	} else {
-		b.WriteByte(0)
+		return append(dst, 1)
 	}
+	return append(dst, 0)
 }
 
-func putBytes(b *bytes.Buffer, v []byte) {
-	putU32(b, uint32(len(v)))
-	b.Write(v)
+func appendBytes(dst, v []byte) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	return append(dst, v...)
 }
 
-func putString(b *bytes.Buffer, v string) { putBytes(b, []byte(v)) }
+func appendString(dst []byte, v string) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
 
-func putNodes(b *bytes.Buffer, nodes []int32) {
-	putU16(b, uint16(len(nodes)))
+func appendNodes(dst []byte, nodes []int32) []byte {
+	dst = appendU16(dst, uint16(len(nodes)))
 	for _, n := range nodes {
-		putI32(b, n)
+		dst = appendI32(dst, n)
 	}
+	return dst
 }
 
 // reader decodes primitives with bounds checking.
@@ -440,58 +575,57 @@ func (r *reader) boolean() (bool, error) {
 	return b[0] != 0, nil
 }
 
-func (r *reader) bytes() ([]byte, error) {
+// bytesInto decodes a length-prefixed blob into dst's storage (growing it
+// only when the capacity is too small) and returns the filled slice. A
+// zero-length blob yields dst truncated to zero — nil stays nil, so the
+// fresh-struct Read path keeps its historical "empty decodes to nil"
+// behavior.
+func (r *reader) bytesInto(dst []byte) ([]byte, error) {
 	n, err := r.u32()
 	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		return nil, nil
+		return dst, err
 	}
 	if uint64(n) > uint64(len(r.buf)) {
-		return nil, ErrTruncated
+		return dst, ErrTruncated
 	}
 	b, err := r.take(int(n))
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out, nil
+	return append(dst[:0], b...), nil
 }
 
 func (r *reader) str() (string, error) {
-	b, err := r.bytes()
+	b, err := r.bytesInto(nil)
 	return string(b), err
 }
 
-func (r *reader) nodes() ([]int32, error) {
+// nodesInto decodes a node list into dst's storage, mirroring bytesInto's
+// reuse and nil semantics.
+func (r *reader) nodesInto(dst []int32) ([]int32, error) {
 	n, err := r.u16()
 	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		return nil, nil
+		return dst, err
 	}
 	if int(n)*4 > len(r.buf) {
-		return nil, ErrTruncated
+		return dst, ErrTruncated
 	}
-	out := make([]int32, n)
-	for i := range out {
+	dst = dst[:0]
+	for i := 0; i < int(n); i++ {
 		v, err := r.i32()
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out[i] = v
+		dst = append(dst, v)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // --- per-message codecs ---
 
-func (m *Hello) encode(b *bytes.Buffer) {
-	putI32(b, m.BrokerID)
-	putString(b, m.Name)
+func (m *Hello) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.BrokerID)
+	return appendString(dst, m.Name)
 }
 
 func (m *Hello) decode(r *reader) (err error) {
@@ -502,16 +636,16 @@ func (m *Hello) decode(r *reader) (err error) {
 	return err
 }
 
-func (m *Data) encode(b *bytes.Buffer) {
-	putU64(b, m.FrameID)
-	putU64(b, m.PacketID)
-	putI32(b, m.Topic)
-	putI32(b, m.Source)
-	putI64(b, m.PublishedAt.UnixNano())
-	putI64(b, int64(m.Deadline))
-	putNodes(b, m.Dests)
-	putNodes(b, m.Path)
-	putBytes(b, m.Payload)
+func (m *Data) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.FrameID)
+	dst = appendU64(dst, m.PacketID)
+	dst = appendI32(dst, m.Topic)
+	dst = appendI32(dst, m.Source)
+	dst = appendI64(dst, m.PublishedAt.UnixNano())
+	dst = appendI64(dst, int64(m.Deadline))
+	dst = appendNodes(dst, m.Dests)
+	dst = appendNodes(dst, m.Path)
+	return appendBytes(dst, m.Payload)
 }
 
 func (m *Data) decode(r *reader) (err error) {
@@ -537,30 +671,30 @@ func (m *Data) decode(r *reader) (err error) {
 		return err
 	}
 	m.Deadline = time.Duration(dl)
-	if m.Dests, err = r.nodes(); err != nil {
+	if m.Dests, err = r.nodesInto(m.Dests); err != nil {
 		return err
 	}
-	if m.Path, err = r.nodes(); err != nil {
+	if m.Path, err = r.nodesInto(m.Path); err != nil {
 		return err
 	}
-	m.Payload, err = r.bytes()
+	m.Payload, err = r.bytesInto(m.Payload)
 	return err
 }
 
-func (m *Ack) encode(b *bytes.Buffer) { putU64(b, m.FrameID) }
+func (m *Ack) appendBody(dst []byte) []byte { return appendU64(dst, m.FrameID) }
 
 func (m *Ack) decode(r *reader) (err error) {
 	m.FrameID, err = r.u64()
 	return err
 }
 
-func (m *Advert) encode(b *bytes.Buffer) {
-	putI32(b, m.Topic)
-	putI32(b, m.Sub)
-	putI64(b, int64(m.D))
-	putF64(b, m.R)
-	putI64(b, int64(m.Deadline))
-	putBool(b, m.Gone)
+func (m *Advert) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.Topic)
+	dst = appendI32(dst, m.Sub)
+	dst = appendI64(dst, int64(m.D))
+	dst = appendF64(dst, m.R)
+	dst = appendI64(dst, int64(m.Deadline))
+	return appendBool(dst, m.Gone)
 }
 
 func (m *Advert) decode(r *reader) (err error) {
@@ -587,23 +721,23 @@ func (m *Advert) decode(r *reader) (err error) {
 	return err
 }
 
-func (m *Ping) encode(b *bytes.Buffer) { putU64(b, m.Token) }
+func (m *Ping) appendBody(dst []byte) []byte { return appendU64(dst, m.Token) }
 
 func (m *Ping) decode(r *reader) (err error) {
 	m.Token, err = r.u64()
 	return err
 }
 
-func (m *Pong) encode(b *bytes.Buffer) { putU64(b, m.Token) }
+func (m *Pong) appendBody(dst []byte) []byte { return appendU64(dst, m.Token) }
 
 func (m *Pong) decode(r *reader) (err error) {
 	m.Token, err = r.u64()
 	return err
 }
 
-func (m *Subscribe) encode(b *bytes.Buffer) {
-	putI32(b, m.Topic)
-	putI64(b, int64(m.Deadline))
+func (m *Subscribe) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.Topic)
+	return appendI64(dst, int64(m.Deadline))
 }
 
 func (m *Subscribe) decode(r *reader) (err error) {
@@ -618,17 +752,17 @@ func (m *Subscribe) decode(r *reader) (err error) {
 	return nil
 }
 
-func (m *Unsubscribe) encode(b *bytes.Buffer) { putI32(b, m.Topic) }
+func (m *Unsubscribe) appendBody(dst []byte) []byte { return appendI32(dst, m.Topic) }
 
 func (m *Unsubscribe) decode(r *reader) (err error) {
 	m.Topic, err = r.i32()
 	return err
 }
 
-func (m *Publish) encode(b *bytes.Buffer) {
-	putI32(b, m.Topic)
-	putI64(b, int64(m.Deadline))
-	putBytes(b, m.Payload)
+func (m *Publish) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.Topic)
+	dst = appendI64(dst, int64(m.Deadline))
+	return appendBytes(dst, m.Payload)
 }
 
 func (m *Publish) decode(r *reader) (err error) {
@@ -640,39 +774,40 @@ func (m *Publish) decode(r *reader) (err error) {
 		return err
 	}
 	m.Deadline = time.Duration(d)
-	m.Payload, err = r.bytes()
+	m.Payload, err = r.bytesInto(m.Payload)
 	return err
 }
 
-func (m *StatsRequest) encode(b *bytes.Buffer) { putU64(b, m.Token) }
+func (m *StatsRequest) appendBody(dst []byte) []byte { return appendU64(dst, m.Token) }
 
 func (m *StatsRequest) decode(r *reader) (err error) {
 	m.Token, err = r.u64()
 	return err
 }
 
-func (m *StatsReply) encode(b *bytes.Buffer) {
-	putU64(b, m.Token)
-	putI32(b, m.BrokerID)
-	putU64(b, m.Published)
-	putU64(b, m.Delivered)
-	putU64(b, m.Forwarded)
-	putU64(b, m.Dropped)
-	putU16(b, uint16(len(m.Neighbors)))
+func (m *StatsReply) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Token)
+	dst = appendI32(dst, m.BrokerID)
+	dst = appendU64(dst, m.Published)
+	dst = appendU64(dst, m.Delivered)
+	dst = appendU64(dst, m.Forwarded)
+	dst = appendU64(dst, m.Dropped)
+	dst = appendU16(dst, uint16(len(m.Neighbors)))
 	for _, n := range m.Neighbors {
-		putI32(b, n.ID)
-		putBool(b, n.Connected)
-		putI64(b, int64(n.Alpha))
-		putF64(b, n.Gamma)
+		dst = appendI32(dst, n.ID)
+		dst = appendBool(dst, n.Connected)
+		dst = appendI64(dst, int64(n.Alpha))
+		dst = appendF64(dst, n.Gamma)
 	}
-	putU16(b, uint16(len(m.Routes)))
+	dst = appendU16(dst, uint16(len(m.Routes)))
 	for _, rt := range m.Routes {
-		putI32(b, rt.Topic)
-		putI32(b, rt.Sub)
-		putI64(b, int64(rt.D))
-		putF64(b, rt.R)
-		putI32(b, rt.ListLen)
+		dst = appendI32(dst, rt.Topic)
+		dst = appendI32(dst, rt.Sub)
+		dst = appendI64(dst, int64(rt.D))
+		dst = appendF64(dst, rt.R)
+		dst = appendI32(dst, rt.ListLen)
 	}
+	return dst
 }
 
 func (m *StatsReply) decode(r *reader) (err error) {
@@ -694,6 +829,7 @@ func (m *StatsReply) decode(r *reader) (err error) {
 	if m.Dropped, err = r.u64(); err != nil {
 		return err
 	}
+	m.Neighbors = m.Neighbors[:0]
 	nn, err := r.u16()
 	if err != nil {
 		return err
@@ -716,6 +852,7 @@ func (m *StatsReply) decode(r *reader) (err error) {
 		}
 		m.Neighbors = append(m.Neighbors, ns)
 	}
+	m.Routes = m.Routes[:0]
 	nr, err := r.u16()
 	if err != nil {
 		return err
@@ -744,12 +881,12 @@ func (m *StatsReply) decode(r *reader) (err error) {
 	return nil
 }
 
-func (m *Deliver) encode(b *bytes.Buffer) {
-	putI32(b, m.Topic)
-	putU64(b, m.PacketID)
-	putI32(b, m.Source)
-	putI64(b, m.PublishedAt.UnixNano())
-	putBytes(b, m.Payload)
+func (m *Deliver) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.Topic)
+	dst = appendU64(dst, m.PacketID)
+	dst = appendI32(dst, m.Source)
+	dst = appendI64(dst, m.PublishedAt.UnixNano())
+	return appendBytes(dst, m.Payload)
 }
 
 func (m *Deliver) decode(r *reader) (err error) {
@@ -767,6 +904,6 @@ func (m *Deliver) decode(r *reader) (err error) {
 		return err
 	}
 	m.PublishedAt = time.Unix(0, ns)
-	m.Payload, err = r.bytes()
+	m.Payload, err = r.bytesInto(m.Payload)
 	return err
 }

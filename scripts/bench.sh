@@ -1,20 +1,24 @@
 #!/bin/sh
-# bench.sh — run the end-to-end simulation benchmarks and snapshot the
-# numbers as JSON.
+# bench.sh — run the end-to-end simulation and live-broker benchmarks and
+# snapshot the numbers as JSON.
 #
 # Usage:
 #   scripts/bench.sh [out.json]     # snapshot a run to out.json
 #   scripts/bench.sh -check         # diff a fresh run against the baseline
 #
-# Runs the Approach*, Figure2 and Rebuild benchmarks 5 times with -benchmem,
+# Runs three suites with -benchmem, 5 counts each:
+#   - Approach*, Figure2 and Rebuild (root package): full-simulation cost
+#   - BenchmarkWire* (internal/wire): codec encode/decode cost and allocs
+#   - BenchmarkBroker* (internal/broker): live-broker forwarding and fan-out
+#     throughput (msgs/sec, deliveries/sec) over localhost
 # saves the raw `go test` output next to the JSON (for benchstat), and writes
 # the per-benchmark mean ns/op, B/op, allocs/op and custom metrics
-# (qos_ratio) to out.json (default: BENCH_current.json).
+# (qos_ratio, msgs/sec, ...) to out.json (default: BENCH_current.json).
 #
 # With -check, no snapshot is written: the raw run is piped through
 # `benchjson -check BENCH_baseline.json`, which exits non-zero if any
-# benchmark's mean ns/op regressed by more than 20% against the baseline's
-# "current" section.
+# benchmark's mean ns/op rose — or any "/sec" throughput metric fell — by
+# more than 20% against the baseline's "current" section.
 #
 # To compare snapshots by hand:
 #   scripts/bench.sh BENCH_current.json
@@ -27,17 +31,20 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-bench='Approach|Figure2|Rebuild'
+run_all() {
+	go test -run '^$' -bench 'Approach|Figure2|Rebuild' -benchmem -count 5 -benchtime 2x .
+	go test -run '^$' -bench 'Wire' -benchmem -count 5 ./internal/wire
+	go test -run '^$' -bench 'Broker' -benchmem -count 5 -benchtime 2x ./internal/broker
+}
 
 if [ "${1:-}" = "-check" ]; then
-	go test -run '^$' -bench "$bench" -count 5 -benchtime 2x . |
-		go run ./cmd/benchjson -check BENCH_baseline.json
+	run_all | go run ./cmd/benchjson -check BENCH_baseline.json
 	exit
 fi
 
 out="${1:-BENCH_current.json}"
 raw="${out%.json}.raw.txt"
 
-go test -run '^$' -bench "$bench" -benchmem -count 5 -benchtime 2x . | tee "$raw"
+run_all | tee "$raw"
 go run ./cmd/benchjson < "$raw" > "$out"
 echo "wrote $out (raw output in $raw)" >&2
