@@ -19,18 +19,21 @@
 //	go test -run '^$' -bench 'Approach|Figure2|Rebuild' . | benchjson -check BENCH_baseline.json
 //
 // A benchmark regresses when its mean ns/op exceeds the baseline's by more
-// than -threshold (default 0.20, i.e. 20%), or — for throughput-style
-// custom metrics whose unit ends in "/sec", as the BenchmarkBroker* suite
-// reports (msgs/sec, deliveries/sec) — when the metric falls below the
-// baseline's by more than the same threshold. The baseline may be flat (an
-// object keyed by benchmark name, as emitted by this tool) or sectioned
-// like BENCH_baseline.json, where a "current" section holds the reference
-// numbers and historical sections ("seed", "optimized", ...) are kept for
-// the record. Benchmarks absent from the baseline are reported as new, not
-// failed, so adding a benchmark never breaks the check. (The wire codec's
-// zero-allocs-per-op property is enforced by TestReaderZeroAllocSteadyState
-// in internal/wire, not by this gate: a 0-alloc baseline entry is
-// indistinguishable from one recorded without -benchmem.)
+// than -threshold (default 0.20, i.e. 20%); when its B/op grows by more
+// than 30% (fixed, only where both runs report a positive B/op — a zero is
+// indistinguishable from a run without -benchmem, so growth from or to
+// zero is never gated); or — for throughput-style custom metrics whose
+// unit ends in "/sec", as the BenchmarkBroker* suite reports (msgs/sec,
+// deliveries/sec) — when the metric falls below the baseline's by more
+// than -threshold. The baseline may be flat (an object keyed by benchmark
+// name, as emitted by this tool) or sectioned like BENCH_baseline.json,
+// where a "current" section holds the reference numbers and historical
+// sections ("seed", "optimized", ...) are kept for the record. Benchmarks
+// absent from the baseline are reported as new, not failed, so adding a
+// benchmark never breaks the check. (The wire codec's and forwarding
+// engine's strict zero-allocs-per-op properties are enforced by
+// TestReaderZeroAllocSteadyState and TestEngineZeroAllocSteadyState, not
+// by this gate.)
 package main
 
 import (
@@ -194,9 +197,17 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return m, nil
 }
 
+// bytesThreshold is the allowed fractional B/op growth before -check
+// fails. Allocation regressions creep in silently (a map here, a closure
+// there) well before they move ns/op on a fast machine, so they get their
+// own, slightly laxer gate.
+const bytesThreshold = 0.30
+
 // check prints a per-benchmark comparison and reports whether every
-// benchmark stayed within the allowed regression: ns/op must not rise, and
-// any "/sec" throughput metric must not fall, by more than threshold.
+// benchmark stayed within the allowed regression: ns/op must not rise by
+// more than threshold, B/op must not grow by more than bytesThreshold
+// (where both runs report it), and any "/sec" throughput metric must not
+// fall by more than threshold.
 func check(w io.Writer, results, baseline map[string]Result, threshold float64) bool {
 	names := make([]string, 0, len(results))
 	for name := range results {
@@ -219,6 +230,19 @@ func check(w io.Writer, results, baseline map[string]Result, threshold float64) 
 		}
 		fmt.Fprintf(w, "%s %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
 			verdict, name, base.NsPerOp, cur.NsPerOp, 100*delta)
+		// B/op growth gate: only meaningful when both runs actually
+		// measured allocations (a 0 means "ran without -benchmem" as often
+		// as it means "allocation-free", so zeroes are never compared).
+		if base.BytesOp > 0 && cur.BytesOp > 0 {
+			bdelta := cur.BytesOp/base.BytesOp - 1
+			bverdict := "  ok "
+			if bdelta > bytesThreshold {
+				bverdict = " FAIL"
+				ok = false
+			}
+			fmt.Fprintf(w, "%s %s: %.0f -> %.0f B/op (%+.1f%%)\n",
+				bverdict, name, base.BytesOp, cur.BytesOp, 100*bdelta)
+		}
 		units := make([]string, 0, len(base.Metrics))
 		for unit := range base.Metrics {
 			if strings.HasSuffix(unit, "/sec") {

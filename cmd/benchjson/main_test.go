@@ -67,6 +67,46 @@ func TestCheckThroughputRegression(t *testing.T) {
 	}
 }
 
+// TestCheckBytesRegression pins the allocation gate: a >30% B/op growth
+// fails -check even when ns/op and throughput stay flat, while runs that
+// didn't measure allocations (B/op 0 on either side) are never gated.
+func TestCheckBytesRegression(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {NsPerOp: 10000000, BytesOp: 100000},
+	}
+	var out strings.Builder
+	grown := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {NsPerOp: 10000000, BytesOp: 125000},
+	}
+	if !check(&out, grown, baseline, 0.20) {
+		t.Errorf("25%% B/op growth failed check:\n%s", out.String())
+	}
+	out.Reset()
+	bloated := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {NsPerOp: 10000000, BytesOp: 140000},
+	}
+	if check(&out, bloated, baseline, 0.20) {
+		t.Errorf("40%% B/op growth passed check:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "B/op") {
+		t.Errorf("failure report does not name B/op:\n%s", out.String())
+	}
+	out.Reset()
+	noMem := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {NsPerOp: 10000000},
+	}
+	if !check(&out, noMem, baseline, 0.20) {
+		t.Errorf("run without -benchmem tripped the B/op gate:\n%s", out.String())
+	}
+	out.Reset()
+	zeroBase := map[string]Result{
+		"BenchmarkBrokerForwardTCP": {NsPerOp: 10000000},
+	}
+	if !check(&out, bloated, zeroBase, 0.20) {
+		t.Errorf("baseline without B/op tripped the gate:\n%s", out.String())
+	}
+}
+
 // TestCheckNsRegressionStillFails keeps the original ns/op rule intact.
 func TestCheckNsRegressionStillFails(t *testing.T) {
 	baseline := map[string]Result{"BenchmarkX": {NsPerOp: 100}}

@@ -1,0 +1,215 @@
+package algo2
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzTimer is one armed engine timer in the fuzz harness. Matching the
+// shell contract, a timer fires at most once and never after CancelTimer.
+type fuzzTimer struct {
+	fn      func(any)
+	arg     any
+	stopped bool
+	fired   bool
+}
+
+// fuzzDeps emulates an arbitrary environment around one engine at node 1
+// of a 6-node overlay: timers fire under fuzzer control and in any order,
+// links flap, and neighbor 5 is a table entry with no link at all
+// (AckWait !ok), covering the deferred-reprocess path.
+type fuzzDeps struct {
+	now      time.Duration
+	frameSeq uint64
+	timers   []*fuzzTimer
+	sent     []uint64 // frame IDs observed in Send, acked or not
+	down     [6]bool
+
+	sends    int
+	delivers int
+	drops    int
+}
+
+func (d *fuzzDeps) Now() time.Duration { return d.now }
+
+func (d *fuzzDeps) AfterFunc(_ time.Duration, fn func(any), arg any) *fuzzTimer {
+	tm := &fuzzTimer{fn: fn, arg: arg}
+	d.timers = append(d.timers, tm)
+	return tm
+}
+
+func (d *fuzzDeps) CancelTimer(tm *fuzzTimer) { tm.stopped = true }
+
+func (d *fuzzDeps) NextFrameID() uint64 {
+	d.frameSeq++
+	return d.frameSeq
+}
+
+func (d *fuzzDeps) AckWait(k int) (time.Duration, bool) {
+	if k == 5 {
+		return 0, false // in the tables, but no such link
+	}
+	return time.Millisecond, true
+}
+
+func (d *fuzzDeps) Send(f *Frame) {
+	d.sends++
+	d.sent = append(d.sent, f.ID)
+}
+
+var fuzzLists = map[int][]int{
+	0: {2, 0, 5},
+	2: {2, 3, 5},
+	3: {3, 2, 4},
+	4: {4, 3, 5},
+	5: {5, 2},
+}
+
+func (d *fuzzDeps) SendingList(_ int32, dest int) []int { return fuzzLists[dest] }
+
+func (d *fuzzDeps) LinkUp(k int) bool { return k >= 0 && k < 6 && !d.down[k] }
+
+func (d *fuzzDeps) Deliver(*Packet, int) { d.delivers++ }
+
+func (d *fuzzDeps) Drop(_ *Packet, dests []int, _ DropReason) { d.drops += len(dests) }
+
+func (d *fuzzDeps) AckTimedOut(int) {}
+
+func (d *fuzzDeps) NextRetryAt(now time.Duration) time.Duration {
+	return now + 5*time.Millisecond
+}
+
+// fireTimer fires armed timer i if it is still eligible.
+func (d *fuzzDeps) fireTimer(i int) {
+	tm := d.timers[i]
+	if tm.stopped || tm.fired {
+		return
+	}
+	tm.fired = true
+	tm.fn(tm.arg)
+}
+
+// FuzzEngine feeds the engine's state machine arbitrary interleavings of
+// publishes, received frames, duplicate frames, (stale) ACKs, timer firings
+// and clock jumps, then drains every copy and checks that nothing panicked,
+// no frame was processed twice, and all pooled state came back (pool
+// round-trip counts return to zero, no flights leak).
+func FuzzEngine(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x21, 0x30, 0x40})
+	f.Add([]byte{0x13, 0x13, 0x50, 0x51, 0x52, 0x31})
+	f.Add([]byte{0x8f, 0x0f, 0x60, 0x50, 0x20, 0x50, 0x42, 0x75, 0x50})
+	f.Add([]byte{0xff, 0x1f, 0x2f, 0x3f, 0x4f, 0x5f, 0x6f, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		deps := &fuzzDeps{}
+		pools := NewPools[*fuzzTimer](6)
+		cfg := Config{
+			NodeID:      1,
+			M:           1 + int(data[0]&3),
+			AckGuard:    time.Millisecond,
+			MaxLifetime: 50 * time.Millisecond,
+			Persistent:  data[0]&4 != 0,
+		}
+		eng := NewEngine[*fuzzTimer](cfg, deps, pools)
+
+		var pktSeq, inSeq uint64
+		var lastIn Inbound
+		haveIn := false
+		destPool := [][]int{{3}, {2, 3}, {0, 3, 4}, {1}, {1, 4}, {3, 5}}
+		pathPool := [][]int{{0}, {0, 2}, {0, 1, 2}, {2, 0}, {0, 2, 3}}
+
+		for i := 1; i < len(data); i++ {
+			b := data[i]
+			op, arg := b>>4, int(b&0x0f)
+			switch op % 8 {
+			case 0: // publish at the origin
+				pktSeq++
+				eng.Publish(Packet{
+					ID:          pktSeq,
+					Topic:       7,
+					Source:      1,
+					PublishedAt: deps.now,
+				}, destPool[arg%len(destPool)])
+			case 1: // receive a fresh frame
+				inSeq++
+				lastIn = Inbound{
+					FrameID: 1<<40 | inSeq, // disjoint from NextFrameID space
+					From:    0,
+					Pkt: Packet{
+						ID:          1<<32 | inSeq,
+						Topic:       7,
+						Source:      0,
+						PublishedAt: deps.now,
+					},
+					Dests: destPool[arg%len(destPool)],
+					Path:  pathPool[arg%len(pathPool)],
+				}
+				haveIn = true
+				eng.HandleData(lastIn)
+			case 2: // replay the previous frame: must be inert
+				if !haveIn {
+					continue
+				}
+				sends, delivers := deps.sends, deps.delivers
+				if !eng.SeenFrame(lastIn.FrameID) {
+					t.Fatalf("frame %d processed but not marked seen", lastIn.FrameID)
+				}
+				eng.HandleData(lastIn)
+				if deps.sends != sends || deps.delivers != delivers {
+					t.Fatalf("duplicate frame %d re-processed: sends %d→%d delivers %d→%d",
+						lastIn.FrameID, sends, deps.sends, delivers, deps.delivers)
+				}
+			case 3: // ACK an observed frame (possibly already resolved)
+				if len(deps.sent) == 0 {
+					continue
+				}
+				eng.HandleAck(deps.sent[arg%len(deps.sent)])
+			case 4: // stale / never-sent ACK
+				if to, ok := eng.HandleAck(uint64(arg) | 1<<50); ok {
+					t.Fatalf("bogus ACK resolved to neighbor %d", to)
+				}
+			case 5: // fire an armed timer
+				if len(deps.timers) == 0 {
+					continue
+				}
+				deps.fireTimer(arg % len(deps.timers))
+			case 6: // advance the clock
+				deps.now += time.Duration(arg+1) * 3 * time.Millisecond
+			case 7: // flap a link
+				deps.down[arg%6] = !deps.down[arg%6]
+			}
+		}
+
+		// Drain: push every copy past its lifetime and fire all timers
+		// (firing spawns retransmit/reprocess timers, so loop) until the
+		// engine has no in-flight state left.
+		deps.now += 2 * cfg.MaxLifetime
+		for range [10000]struct{}{} {
+			idle := true
+			for i := 0; i < len(deps.timers); i++ {
+				tm := deps.timers[i]
+				if !tm.stopped && !tm.fired {
+					idle = false
+					deps.fireTimer(i)
+				}
+			}
+			if idle {
+				break
+			}
+		}
+		for _, tm := range deps.timers {
+			if !tm.stopped && !tm.fired {
+				t.Fatal("timers still armed after drain cap — livelock or leak")
+			}
+		}
+		if n := eng.InflightCount(); n != 0 {
+			t.Fatalf("inflight leak after drain: %d groups", n)
+		}
+		if w, fl, fr := pools.Live(); w != 0 || fl != 0 || fr != 0 {
+			t.Fatalf("pool leak after drain: works=%d flights=%d frames=%d", w, fl, fr)
+		}
+	})
+}

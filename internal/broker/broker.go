@@ -31,7 +31,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/algo2"
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -64,6 +66,11 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Logger receives diagnostics; nil discards them.
 	Logger *log.Logger
+	// Tracer, when non-nil, receives the engine's per-packet routing
+	// timeline (sends, ACK handoffs, timeouts, failovers, reroutes). Trace
+	// events are recorded under the broker's mutex; the recorder needs no
+	// locking of its own but must not re-enter the broker.
+	Tracer trace.Recorder
 }
 
 // withDefaults fills unset tunables.
@@ -108,13 +115,22 @@ type Broker struct {
 	localSubs map[int32]map[*clientConn]time.Duration
 	// routes[(topic, subscriberBroker)] = distributed routing state
 	routes map[routeKey]*routeState
-	// seen de-duplicates processed data frames (bounded).
-	seen *dedup
 	// deliveredSeen de-duplicates local client deliveries per packet
 	// (bounded); failover can legitimately produce duplicate copies.
 	deliveredSeen *dedup
-	// inflight tracks unacknowledged sends by frame ID.
-	inflight map[uint64]*flight
+	// eng is this broker's Algorithm-2 forwarding engine; every entry point
+	// (and every engine timer callback) runs under b.mu. Frame-level dedup
+	// and the in-flight groups live inside it.
+	eng *algo2.Engine[*ackTimer]
+	// epoch anchors the engine clock: engine time is time.Since(epoch).
+	epoch time.Time
+	// pendingDeliver queues local deliveries the engine produced under
+	// b.mu, flushed to clients after unlock.
+	pendingDeliver []queuedDeliver
+	// destsBuf/pathBuf are int-conversion scratch for engine calls (the
+	// engine copies both before returning).
+	destsBuf []int
+	pathBuf  []int
 
 	nextFrameID  uint64
 	nextPacketID uint64
@@ -166,17 +182,26 @@ func New(cfg Config) (*Broker, error) {
 			return nil, fmt.Errorf("broker %d: negative neighbor ID %d", cfg.ID, id)
 		}
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:           cfg,
 		neighbors:     make(map[int]*neighborConn),
 		clients:       make(map[*clientConn]struct{}),
 		localSubs:     make(map[int32]map[*clientConn]time.Duration),
 		routes:        make(map[routeKey]*routeState),
-		seen:          newDedup(1 << 16),
 		deliveredSeen: newDedup(1 << 16),
-		inflight:      make(map[uint64]*flight),
+		epoch:         time.Now(),
 		done:          make(chan struct{}),
-	}, nil
+	}
+	// nodesHint sizes the engine's path bitsets; neighbors is a lower bound
+	// on the overlay size and the bitsets grow on demand past it.
+	b.eng = algo2.NewEngine[*ackTimer](algo2.Config{
+		NodeID:      cfg.ID,
+		M:           cfg.M,
+		AckGuard:    cfg.AckGuard,
+		MaxLifetime: cfg.MaxLifetime,
+		Tracer:      cfg.Tracer,
+	}, liveShell{b: b}, algo2.NewPools[*ackTimer](cfg.ID+len(cfg.Neighbors)+1))
+	return b, nil
 }
 
 // dedup is a bounded recently-seen set of uint64 keys: once full, the
@@ -270,9 +295,7 @@ func (b *Broker) Close() error {
 	for c := range b.clients {
 		clients = append(clients, c)
 	}
-	for _, fl := range b.inflight {
-		fl.timer.Stop()
-	}
+	b.eng.Shutdown() // cancels every in-flight ACK timer (under b.mu)
 	b.mu.Unlock()
 
 	if b.ln != nil {

@@ -4,42 +4,196 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/algo2"
 	"repro/internal/wire"
 )
 
-// packetCopy is Algorithm 2's per-copy state at this broker: the
-// destinations still unresolved here, the neighbors that timed out for this
-// copy, and the routing path the copy arrived with.
-type packetCopy struct {
-	packetID    uint64
-	topic       int32
-	source      int32
-	publishedAt time.Time
-	deadline    time.Duration
-	payload     []byte
+// The live broker is a thin shell over the shared Algorithm-2 engine
+// (internal/algo2): liveShell adapts the engine's Deps onto wall-clock
+// timers, the per-connection writer pipelines, and the distributed
+// Algorithm-1 route state, while the engine owns all per-copy routing state
+// (pending destinations, path bitsets, failed-neighbor sets, in-flight
+// retransmission groups, frame dedup) in pooled, allocation-free form. All
+// engine entry points run under b.mu — the broker's mutex is the engine's
+// required external serialization.
 
-	path     []int32
-	pathSet  map[int32]bool
-	upstream int // -1 at the origin
-	pending  map[int32]bool
-	failed   map[int]bool
+// ackTimer is the live timer handle behind the engine's Deps.AfterFunc.
+// Engine flights are pooled, so cancellation must be reliable:
+// time.Timer.Stop alone can lose the race against a callback already
+// started, so fire re-checks the stopped flag under b.mu, which CancelTimer
+// sets under the same lock (engine calls always hold b.mu).
+type ackTimer struct {
+	b       *Broker
+	t       *time.Timer
+	stopped bool
+	fn      func(any)
+	arg     any
 }
 
-// flight is one sent group awaiting its hop-by-hop ACK.
-type flight struct {
-	frameID    uint64
-	to         int
-	dests      []int32
-	attempts   int
-	toUpstream bool
-	msg        *wire.Data
-	copyState  *packetCopy
-	timer      *time.Timer
+// fire enters the engine under b.mu unless the timer was cancelled or the
+// broker closed, then flushes any deliveries the engine queued.
+func (at *ackTimer) fire() {
+	b := at.b
+	b.mu.Lock()
+	if b.closed || at.stopped {
+		b.mu.Unlock()
+		return
+	}
+	at.fn(at.arg)
+	flush := b.takePendingLocked()
+	b.mu.Unlock()
+	b.flushDeliveries(flush)
+}
+
+// queuedDeliver is one local delivery the engine produced while b.mu was
+// held; it is sent to the clients after the lock is released.
+type queuedDeliver struct {
+	clients []*clientConn
+	msg     *wire.Deliver
+}
+
+// liveShell implements algo2.Deps over the broker. Every method is invoked
+// by the engine with b.mu held.
+type liveShell struct{ b *Broker }
+
+var _ algo2.Deps[*ackTimer] = liveShell{}
+
+// Now is the engine clock: time since the broker's construction epoch.
+// Durations relative to the epoch subtract back to plain wall-clock
+// differences, so cross-broker lifetime checks behave exactly like the
+// previous time.Since-based code.
+func (s liveShell) Now() time.Duration { return time.Since(s.b.epoch) }
+
+// AfterFunc arms a wall-clock timer whose callback re-enters the engine
+// under b.mu.
+func (s liveShell) AfterFunc(d time.Duration, fn func(any), arg any) *ackTimer {
+	at := &ackTimer{b: s.b, fn: fn, arg: arg}
+	at.t = time.AfterFunc(d, at.fire)
+	return at
+}
+
+// CancelTimer reliably cancels: stopped is written under b.mu, and fire
+// checks it under b.mu before touching the (pooled) argument.
+func (s liveShell) CancelTimer(t *ackTimer) {
+	t.stopped = true
+	t.t.Stop()
+}
+
+// NextFrameID allocates an overlay-unique frame identifier — receivers
+// de-duplicate retransmissions by frame ID, so the broker ID occupies the
+// high bits above a per-broker counter.
+func (s liveShell) NextFrameID() uint64 {
+	b := s.b
+	b.nextFrameID++
+	return uint64(b.cfg.ID)<<48 | (b.nextFrameID & (1<<48 - 1))
+}
+
+// AckWait scales the ACK timeout to the link's measured round trip
+// (2*alpha; the engine adds Config.AckGuard on top). Unknown neighbors get
+// a bare-guard timeout and fail over via the normal timer path.
+func (s liveShell) AckWait(k int) (time.Duration, bool) {
+	if nc, ok := s.b.neighbors[k]; ok {
+		alpha, _ := nc.estimate()
+		return 2 * alpha, true
+	}
+	return 0, true
+}
+
+// Send encodes one engine frame as a wire.Data and hands it to the
+// neighbor's writer pipeline. The pooled frame is only valid until return
+// while the pipeline retains its message, so the wire message is built
+// fresh per attempt; the payload []byte is stable (copied once on receipt)
+// and shared.
+func (s liveShell) Send(f *algo2.Frame) {
+	b := s.b
+	nc, ok := b.neighbors[f.To]
+	if !ok {
+		return // no such neighbor; the ACK timer will fail the copy over
+	}
+	b.forwarded++
+	msg := &wire.Data{
+		FrameID:     f.ID,
+		PacketID:    f.Pkt.ID,
+		Topic:       f.Pkt.Topic,
+		Source:      f.Pkt.Source,
+		PublishedAt: b.epoch.Add(f.Pkt.PublishedAt),
+		Deadline:    f.Pkt.Deadline,
+		Dests:       make([]int32, len(f.Dests)),
+		Path:        make([]int32, len(f.Path)),
+		Payload:     f.Pkt.Payload.([]byte),
+	}
+	for i, d := range f.Dests {
+		msg.Dests[i] = int32(d)
+	}
+	for i, p := range f.Path {
+		msg.Path[i] = int32(p)
+	}
+	if err := nc.send(msg); err != nil {
+		b.logf("send frame %d to %d: %v", f.ID, f.To, err)
+	}
+}
+
+// SendingList exposes the distributed Algorithm-1 state.
+func (s liveShell) SendingList(topic int32, dest int) []int {
+	return s.b.sendingListLocked(topic, int32(dest))
+}
+
+// LinkUp skips neighbors without a live connection.
+func (s liveShell) LinkUp(k int) bool {
+	nc, ok := s.b.neighbors[k]
+	return ok && nc.connected()
+}
+
+// Deliver queues a local delivery (sent after b.mu is released — client
+// sends must not run under the broker lock). Packet-level dedup lives
+// here: failover can legitimately produce duplicate copies of a packet on
+// distinct frames.
+func (s liveShell) Deliver(pkt *algo2.Packet, _ int) {
+	b := s.b
+	if b.deliveredSeen.Seen(pkt.ID) {
+		return
+	}
+	b.pendingDeliver = append(b.pendingDeliver, queuedDeliver{
+		clients: b.localDeliveriesLocked(pkt.Topic),
+		msg: &wire.Deliver{
+			Topic:       pkt.Topic,
+			PacketID:    pkt.ID,
+			Source:      pkt.Source,
+			PublishedAt: b.epoch.Add(pkt.PublishedAt),
+			Payload:     pkt.Payload.([]byte),
+		},
+	})
+}
+
+// Drop counts abandoned destinations.
+func (s liveShell) Drop(pkt *algo2.Packet, dests []int, reason algo2.DropReason) {
+	b := s.b
+	b.dropped += uint64(len(dests))
+	for _, dest := range dests {
+		if reason == algo2.DropExhausted {
+			b.logf("packet %d: no route to dest %d, dropping at origin", pkt.ID, dest)
+		} else {
+			b.logf("packet %d: lifetime exceeded for dest %d", pkt.ID, dest)
+		}
+	}
+}
+
+// AckTimedOut decays the neighbor's adaptive gamma.
+func (s liveShell) AckTimedOut(k int) {
+	if nc := s.b.neighbors[k]; nc != nil {
+		nc.ackTimedOut()
+	}
+}
+
+// NextRetryAt satisfies the Deps interface; the live broker never enables
+// persistency (Config.Persistent is always false here), so it is unused.
+func (s liveShell) NextRetryAt(now time.Duration) time.Duration {
+	return now + s.b.cfg.AckGuard
 }
 
 // publishLocal accepts a publish from a connected client: deliver to local
-// subscribers immediately, then route one copy toward every known
-// subscriber broker with Algorithm 2.
+// subscribers immediately, then hand one copy per known subscriber broker
+// to the engine.
 func (b *Broker) publishLocal(m *wire.Publish) {
 	deadline := m.Deadline
 	if deadline <= 0 {
@@ -60,98 +214,123 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 	// Packet IDs must be overlay-unique (delivery dedup keys on them), so
 	// the broker ID occupies the high bits.
 	pid := uint64(b.cfg.ID)<<48 | (b.nextPacketID & (1<<48 - 1))
-	pc := &packetCopy{
-		packetID:    pid,
-		topic:       m.Topic,
-		source:      int32(b.cfg.ID),
-		publishedAt: now,
-		deadline:    deadline,
-		payload:     payload,
-		pathSet:     map[int32]bool{int32(b.cfg.ID): true},
-		upstream:    -1,
-		pending:     make(map[int32]bool),
-		failed:      make(map[int]bool),
-	}
+	dests := b.destsBuf[:0]
 	for key, rs := range b.routes {
 		if key.topic != m.Topic || key.sub == int32(b.cfg.ID) {
 			continue
 		}
 		if rs.own.Reachable() || len(rs.params) > 0 {
-			pc.pending[key.sub] = true
+			dests = append(dests, int(key.sub))
 		}
 	}
+	// Map iteration order is random; sort so traces (and the differential
+	// harness) see deterministic destination sets.
+	sort.Ints(dests)
+	b.destsBuf = dests
 	deliverTo := b.localDeliveriesLocked(m.Topic)
-	b.processLocked(pc)
+	b.eng.Publish(algo2.Packet{
+		ID:          pid,
+		Topic:       m.Topic,
+		Source:      int32(b.cfg.ID),
+		PublishedAt: now.Sub(b.epoch),
+		Deadline:    deadline,
+		Payload:     payload,
+	}, dests)
+	flush := b.takePendingLocked()
 	b.mu.Unlock()
 
 	b.deliver(deliverTo, &wire.Deliver{
-		Topic:       pc.topic,
-		PacketID:    pc.packetID,
-		Source:      pc.source,
+		Topic:       m.Topic,
+		PacketID:    pid,
+		Source:      int32(b.cfg.ID),
 		PublishedAt: now,
 		Payload:     payload,
 	})
+	b.flushDeliveries(flush)
 }
 
 // handleData processes a data frame from a neighbor (Algorithm 2, receive
-// side). The ACK was already sent by the caller.
+// side). The hop-by-hop ACK was already sent by the caller — for every
+// received frame, duplicates included.
 func (b *Broker) handleData(from int, m *wire.Data) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return
 	}
-	if b.seen.Seen(m.FrameID) {
+	if b.eng.SeenFrame(m.FrameID) {
+		b.mu.Unlock()
+		return // retransmission; skip the payload copy entirely
+	}
+	// m is recycled by the read loop's pooled Reader after return; the
+	// engine's copy (held across ACK timers) and any queued deliveries need
+	// a stable payload, so copy it once here. Dests/Path go through per-
+	// broker scratch buffers — the engine copies both before returning.
+	payload := append([]byte(nil), m.Payload...)
+	dests := b.destsBuf[:0]
+	for _, d := range m.Dests {
+		dests = append(dests, int(d))
+	}
+	b.destsBuf = dests
+	path := b.pathBuf[:0]
+	for _, p := range m.Path {
+		path = append(path, int(p))
+	}
+	b.pathBuf = path
+	b.eng.HandleData(algo2.Inbound{
+		FrameID: m.FrameID,
+		From:    from,
+		Pkt: algo2.Packet{
+			ID:          m.PacketID,
+			Topic:       m.Topic,
+			Source:      m.Source,
+			PublishedAt: m.PublishedAt.Sub(b.epoch),
+			Deadline:    m.Deadline,
+			Payload:     payload,
+		},
+		Dests: dests,
+		Path:  path,
+	})
+	flush := b.takePendingLocked()
+	b.mu.Unlock()
+	b.flushDeliveries(flush)
+}
+
+// handleAck resolves an in-flight group: the neighbor took responsibility,
+// so this broker forgets the copy (aggressive deletion, §III) and credits
+// the neighbor's gamma.
+func (b *Broker) handleAck(frameID uint64) {
+	b.mu.Lock()
+	if b.closed {
 		b.mu.Unlock()
 		return
 	}
-
-	// m is recycled by the read loop's pooled Reader after return; the
-	// packet copy (held across ACK timers) and any queued deliveries need a
-	// stable payload, so copy it once here.
-	payload := append([]byte(nil), m.Payload...)
-	pc := &packetCopy{
-		packetID:    m.PacketID,
-		topic:       m.Topic,
-		source:      m.Source,
-		publishedAt: m.PublishedAt,
-		deadline:    m.Deadline,
-		payload:     payload,
-		path:        append([]int32(nil), m.Path...),
-		pathSet:     make(map[int32]bool, len(m.Path)+1),
-		upstream:    upstreamOf(int32(b.cfg.ID), m.Path),
-		pending:     make(map[int32]bool),
-		failed:      make(map[int]bool),
+	to, ok := b.eng.HandleAck(frameID)
+	var nc *neighborConn
+	if ok {
+		nc = b.neighbors[to]
 	}
-	for _, hop := range m.Path {
-		pc.pathSet[hop] = true
-	}
-	pc.pathSet[int32(b.cfg.ID)] = true
-
-	var deliverTo []*clientConn
-	var deliverMsg *wire.Deliver
-	for _, dest := range m.Dests {
-		if dest == int32(b.cfg.ID) {
-			if b.deliveredSeen.Seen(m.PacketID) {
-				continue // duplicate copy from a failover race
-			}
-			deliverTo = b.localDeliveriesLocked(m.Topic)
-			deliverMsg = &wire.Deliver{
-				Topic:       m.Topic,
-				PacketID:    m.PacketID,
-				Source:      m.Source,
-				PublishedAt: m.PublishedAt,
-				Payload:     payload,
-			}
-			continue
-		}
-		pc.pending[dest] = true
-	}
-	b.processLocked(pc)
 	b.mu.Unlock()
+	if nc != nil {
+		nc.ackSucceeded()
+	}
+}
 
-	if deliverMsg != nil {
-		b.deliver(deliverTo, deliverMsg)
+// takePendingLocked detaches the engine-queued deliveries for flushing
+// outside b.mu.
+func (b *Broker) takePendingLocked() []queuedDeliver {
+	if len(b.pendingDeliver) == 0 {
+		return nil
+	}
+	q := b.pendingDeliver
+	b.pendingDeliver = nil
+	return q
+}
+
+// flushDeliveries sends detached deliveries to their clients.
+func (b *Broker) flushDeliveries(q []queuedDeliver) {
+	for _, d := range q {
+		b.deliver(d.clients, d.msg)
 	}
 }
 
@@ -180,193 +359,4 @@ func (b *Broker) deliver(clients []*clientConn, msg *wire.Deliver) {
 		b.delivered++
 		b.mu.Unlock()
 	}
-}
-
-// processLocked is Algorithm 2's dispatch loop: assign every pending
-// destination to the first eligible sending-list neighbor, group shared
-// next hops into one frame, reroute exhausted destinations upstream, and
-// drop at the origin.
-func (b *Broker) processLocked(pc *packetCopy) {
-	if time.Since(pc.publishedAt) > b.cfg.MaxLifetime {
-		for dest := range pc.pending {
-			delete(pc.pending, dest)
-			b.dropped++
-			b.logf("packet %d: lifetime exceeded for dest %d", pc.packetID, dest)
-		}
-		return
-	}
-	groups := make(map[int][]int32)
-	var exhausted []int32
-	dests := make([]int32, 0, len(pc.pending))
-	for d := range pc.pending {
-		dests = append(dests, d)
-	}
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
-	for _, dest := range dests {
-		nh := b.nextHopLocked(pc, dest)
-		if nh < 0 {
-			exhausted = append(exhausted, dest)
-			continue
-		}
-		groups[nh] = append(groups[nh], dest)
-	}
-	hops := make([]int, 0, len(groups))
-	for nh := range groups {
-		hops = append(hops, nh)
-	}
-	sort.Ints(hops)
-	for _, nh := range hops {
-		b.sendGroupLocked(pc, nh, groups[nh], false)
-	}
-	if len(exhausted) == 0 {
-		return
-	}
-	if pc.upstream < 0 {
-		for _, dest := range exhausted {
-			delete(pc.pending, dest)
-			b.dropped++
-			b.logf("packet %d: no route to dest %d, dropping at origin", pc.packetID, dest)
-		}
-		return
-	}
-	b.sendGroupLocked(pc, pc.upstream, exhausted, true)
-}
-
-// nextHopLocked picks the first sending-list neighbor not on the routing
-// path, not failed for this copy, and currently connected.
-func (b *Broker) nextHopLocked(pc *packetCopy, dest int32) int {
-	for _, nid := range b.sendingListLocked(pc.topic, dest) {
-		if pc.pathSet[int32(nid)] || pc.failed[nid] {
-			continue
-		}
-		nc, ok := b.neighbors[nid]
-		if !ok || !nc.connected() {
-			continue
-		}
-		return nid
-	}
-	return -1
-}
-
-// sendGroupLocked transmits one group to neighbor nh and arms the ACK timer
-// (Algorithm 2 lines 13–22).
-func (b *Broker) sendGroupLocked(pc *packetCopy, nh int, dests []int32, toUpstream bool) {
-	for _, dest := range dests {
-		delete(pc.pending, dest)
-	}
-	pc.path = append(pc.path, int32(b.cfg.ID))
-	b.nextFrameID++
-	// Frame IDs must be unique across the whole overlay — receivers
-	// de-duplicate retransmissions by frame ID — so the broker ID is
-	// embedded in the high bits above a per-broker counter.
-	frameID := uint64(b.cfg.ID)<<48 | (b.nextFrameID & (1<<48 - 1))
-	msg := &wire.Data{
-		FrameID:     frameID,
-		PacketID:    pc.packetID,
-		Topic:       pc.topic,
-		Source:      pc.source,
-		PublishedAt: pc.publishedAt,
-		Deadline:    pc.deadline,
-		Dests:       append([]int32(nil), dests...),
-		Path:        append([]int32(nil), pc.path...),
-		Payload:     pc.payload,
-	}
-	fl := &flight{
-		frameID:    msg.FrameID,
-		to:         nh,
-		dests:      msg.Dests,
-		toUpstream: toUpstream,
-		msg:        msg,
-		copyState:  pc,
-	}
-	b.inflight[fl.frameID] = fl
-	b.transmitLocked(fl)
-}
-
-// transmitLocked performs one transmission attempt and arms the ACK timer
-// scaled to the link's measured round trip.
-func (b *Broker) transmitLocked(fl *flight) {
-	fl.attempts++
-	nc, ok := b.neighbors[fl.to]
-	var timeout time.Duration
-	if ok {
-		alpha, _ := nc.estimate()
-		timeout = 2*alpha + b.cfg.AckGuard
-		b.forwarded++
-		if err := nc.send(fl.msg); err != nil {
-			b.logf("send frame %d to %d: %v", fl.frameID, fl.to, err)
-		}
-	} else {
-		timeout = b.cfg.AckGuard
-	}
-	fl.timer = time.AfterFunc(timeout, func() { b.ackTimeout(fl.frameID) })
-}
-
-// handleAck resolves an in-flight group: the neighbor took responsibility,
-// so this broker forgets the copy (aggressive deletion, §III).
-func (b *Broker) handleAck(frameID uint64) {
-	b.mu.Lock()
-	fl, ok := b.inflight[frameID]
-	if !ok {
-		b.mu.Unlock()
-		return
-	}
-	fl.timer.Stop()
-	delete(b.inflight, frameID)
-	nc := b.neighbors[fl.to]
-	b.mu.Unlock()
-	if nc != nil {
-		nc.ackSucceeded()
-	}
-}
-
-// ackTimeout fires when a group's ACK never arrived: retransmit within the
-// m budget (or indefinitely toward the upstream), otherwise mark the
-// neighbor failed for this copy and re-process its destinations.
-func (b *Broker) ackTimeout(frameID uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	fl, ok := b.inflight[frameID]
-	if !ok {
-		return
-	}
-	if nc := b.neighbors[fl.to]; nc != nil {
-		nc.ackTimedOut()
-	}
-	expired := time.Since(fl.copyState.publishedAt) > b.cfg.MaxLifetime
-	if !expired && (fl.toUpstream || fl.attempts < b.cfg.M) {
-		b.transmitLocked(fl)
-		return
-	}
-	delete(b.inflight, frameID)
-	if expired {
-		b.dropped += uint64(len(fl.dests))
-		return
-	}
-	fl.copyState.failed[fl.to] = true
-	for _, dest := range fl.dests {
-		fl.copyState.pending[dest] = true
-	}
-	b.processLocked(fl.copyState)
-}
-
-// upstreamOf finds the upstream broker in a routing path: the entry before
-// node's first appearance, the last sender for fresh arrivals, or -1 at the
-// origin.
-func upstreamOf(node int32, path []int32) int {
-	for i, hop := range path {
-		if hop == node {
-			if i == 0 {
-				return -1
-			}
-			return int(path[i-1])
-		}
-	}
-	if len(path) == 0 {
-		return -1
-	}
-	return int(path[len(path)-1])
 }

@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/algo2"
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -65,17 +65,20 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	return o
 }
 
-// Router implements DCRD's dynamic routing (Algorithm 2) over a simulated
-// network: hop-by-hop ACKs, m transmissions per neighbor, switching to the
-// next Theorem-1-ordered neighbor on failure, and rerouting to the upstream
-// node when a broker exhausts its sending list. One Router instance drives
-// every broker node of the overlay.
+// Router drives DCRD's dynamic routing (Algorithm 2) over a simulated
+// network. It is the discrete-event shell around the shared forwarding
+// engine (internal/algo2): the Algorithm-1 route tables live here, while
+// every node's forwarding decisions — hop-by-hop ACKs, m transmissions per
+// neighbor, sending-list failover, upstream rerouting — are made by one
+// algo2.Engine per node, adapted onto the simulator clock and the netsim
+// transport by nodeShell. One Router instance drives every broker node of
+// the overlay.
 //
-// The forwarding hot path is allocation-free in steady state: work, flight
-// and dataPayload objects are pooled on the Router (one simulation is
-// single-threaded, so the pools need no locking), per-packet sets are
-// bitsets or small sorted slices with reusable backing arrays, and all
-// timers go through the simulator's closure-free AfterFunc.
+// The forwarding hot path stays allocation-free in steady state: the
+// engines share one algo2.Pools (a simulation is single-threaded, so the
+// pool needs no locking), and all timers go through the simulator's
+// closure-free AfterFunc with des.EventID as the engine's timer-handle
+// type (no interface boxing).
 type Router struct {
 	net  *netsim.Network
 	work *pubsub.Workload
@@ -84,37 +87,14 @@ type Router struct {
 	// tables[topic][subscriberNode] is the Algorithm-1 route table for that
 	// (publisher, subscriber) pair.
 	tables []map[int]*Table
-	nodes  []*nodeState
+	shells []*nodeShell
+	pools  *algo2.Pools[des.EventID]
 	// Incremental-rebuild state: estVer is the monitoring-estimate version
 	// the current tables were built from, built marks that a first build
 	// happened, and changedBuf is the reusable changed-link scratch.
 	estVer     uint64
 	built      bool
 	changedBuf [][2]int
-	// setWords is the pathSet bitset length, (N+63)/64.
-	setWords int
-	// Object pools. Backing slices inside recycled objects are kept, so
-	// steady state reuses their capacity.
-	freeWork    []*work
-	freeFlight  []*flight
-	freePayload []*dataPayload
-}
-
-// dataPayload is the body of a DCRD data frame: the packet plus the
-// destinations this copy is responsible for and the recorded routing path
-// (the broker IDs that have sent this copy, in order, with duplicates when
-// a broker sent it more than once — exactly the paper's packet format).
-//
-// Payloads are pooled: the owning flight recycles its payload when the
-// hop-by-hop ACK resolves it. A receiver may therefore read the payload's
-// contents only during the frame's own delivery event and only for frames
-// that pass deduplication — both hold by construction: the first delivery
-// happens strictly before the ACK that releases the payload, and duplicate
-// deliveries land within one ACK round trip, far inside the dedup horizon.
-type dataPayload struct {
-	Pkt   pubsub.Packet
-	Dests []int
-	Path  []int
 }
 
 // NewRouter builds route tables for every (publisher, subscriber) pair and
@@ -123,24 +103,27 @@ func NewRouter(net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, 
 	opts = opts.withDefaults()
 	g := net.Graph()
 	r := &Router{
-		net:      net,
-		work:     w,
-		col:      col,
-		opts:     opts,
-		tables:   make([]map[int]*Table, len(w.Topics())),
-		nodes:    make([]*nodeState, g.N()),
-		setWords: (g.N() + 63) / 64,
+		net:    net,
+		work:   w,
+		col:    col,
+		opts:   opts,
+		tables: make([]map[int]*Table, len(w.Topics())),
+		shells: make([]*nodeShell, g.N()),
+		pools:  algo2.NewPools[des.EventID](g.N()),
 	}
 	r.Rebuild()
 	for id := 0; id < g.N(); id++ {
-		ns := &nodeState{
-			r:        r,
-			id:       id,
-			seen:     make(map[uint64]struct{}),
-			inflight: make(map[uint64]*flight),
-		}
-		r.nodes[id] = ns
-		r.net.SetHandler(id, ns.handleFrame)
+		sh := &nodeShell{r: r, id: id}
+		sh.eng = algo2.NewEngine[des.EventID](algo2.Config{
+			NodeID:      id,
+			M:           opts.M,
+			AckGuard:    opts.AckGuard,
+			MaxLifetime: opts.MaxLifetime,
+			Persistent:  opts.Persistent,
+			Tracer:      opts.Tracer,
+		}, sh, r.pools)
+		r.shells[id] = sh
+		r.net.SetHandler(id, sh.handleFrame)
 	}
 	return r, nil
 }
@@ -307,532 +290,129 @@ func (r *Router) RebuildCold() {
 // tests and diagnostics.
 func (r *Router) Table(topic, sub int) *Table { return r.tables[topic][sub] }
 
-// record emits a trace event when tracing is enabled. dests is copied so
-// recorded events stay valid after pooled buffers are reused.
-func (r *Router) record(kind trace.Kind, pkt uint64, node, peer int, dests []int, note string) {
-	if r.opts.Tracer == nil {
-		return
-	}
-	if dests != nil {
-		dests = append([]int(nil), dests...)
-	}
-	r.opts.Tracer.Record(trace.Event{
-		At:     r.net.Sim().Now(),
-		Kind:   kind,
-		Packet: pkt,
-		Node:   node,
-		Peer:   peer,
-		Dests:  dests,
-		Note:   note,
-	})
-}
-
-// allocWork takes a work object from the pool with one reference held by
-// the caller.
-func (r *Router) allocWork(ns *nodeState) *work {
-	var w *work
-	if l := len(r.freeWork); l > 0 {
-		w = r.freeWork[l-1]
-		r.freeWork[l-1] = nil
-		r.freeWork = r.freeWork[:l-1]
-	} else {
-		w = &work{pathSet: make([]uint64, r.setWords)}
-	}
-	w.ns = ns
-	w.path = w.path[:0]
-	w.pending = w.pending[:0]
-	w.failed = w.failed[:0]
-	clear(w.pathSet)
-	w.refs = 1
-	return w
-}
-
-// retainWork adds a reference (a flight or a scheduled re-process event).
-func (r *Router) retainWork(w *work) { w.refs++ }
-
-// releaseWork drops one reference and recycles the work when none remain.
-func (r *Router) releaseWork(w *work) {
-	w.refs--
-	if w.refs == 0 {
-		w.ns = nil
-		w.pkt = pubsub.Packet{}
-		r.freeWork = append(r.freeWork, w)
-	}
-}
-
-// allocPayload takes a payload from the pool, keeping recycled capacity.
-func (r *Router) allocPayload() *dataPayload {
-	if l := len(r.freePayload); l > 0 {
-		p := r.freePayload[l-1]
-		r.freePayload[l-1] = nil
-		r.freePayload = r.freePayload[:l-1]
-		p.Dests = p.Dests[:0]
-		p.Path = p.Path[:0]
-		return p
-	}
-	return &dataPayload{}
-}
-
-// releasePayload returns a payload to the pool once its flight resolves.
-func (r *Router) releasePayload(p *dataPayload) {
-	p.Pkt = pubsub.Packet{}
-	r.freePayload = append(r.freePayload, p)
-}
-
-// allocFlight takes a flight from the pool.
-func (r *Router) allocFlight() *flight {
-	if l := len(r.freeFlight); l > 0 {
-		fl := r.freeFlight[l-1]
-		r.freeFlight[l-1] = nil
-		r.freeFlight = r.freeFlight[:l-1]
-		return fl
-	}
-	return &flight{}
-}
-
-// releaseFlight recycles the flight struct only; payload and work are
-// released separately by the caller (their lifetimes differ across the
-// resolve paths).
-func (r *Router) releaseFlight(fl *flight) {
-	*fl = flight{}
-	r.freeFlight = append(r.freeFlight, fl)
-}
-
 // Publish injects a freshly published packet at its source broker, which
 // becomes responsible for all subscriber destinations of the topic.
 func (r *Router) Publish(pkt pubsub.Packet) {
-	r.record(trace.Publish, pkt.ID, pkt.Source, -1, r.work.Destinations(pkt.Topic), "")
-	ns := r.nodes[pkt.Source]
-	w := r.allocWork(ns)
-	w.pkt = pkt
-	w.upstream = -1
-	w.addToPathSet(pkt.Source)
-	for _, dest := range r.work.Destinations(pkt.Topic) {
-		if dest == pkt.Source {
-			r.col.Deliver(pkt.ID, dest, r.net.Sim().Now())
-			continue
-		}
-		w.pending = append(w.pending, dest)
-	}
-	ns.process(w)
-	r.releaseWork(w)
+	r.shells[pkt.Source].eng.Publish(algo2.Packet{
+		ID:          pkt.ID,
+		Topic:       int32(pkt.Topic),
+		Source:      int32(pkt.Source),
+		PublishedAt: pkt.PublishedAt,
+	}, r.work.Destinations(pkt.Topic))
 }
 
-// dedupHorizonFactor scales MaxLifetime into the dedup retention horizon.
-// Two lifetimes comfortably cover the last possible duplicate delivery
-// (transmissions stop at publish+MaxLifetime; one link delay plus one ACK
-// timeout later nothing new can arrive), so expiring seen entries beyond it
-// can never resurrect a packet.
-const dedupHorizonFactor = 2
-
-// nodeState is one broker's Algorithm-2 state: deduplication of received
-// frames and the set of sent-but-unacknowledged groups. Per the paper, no
-// per-packet routing state survives once the downstream ACK arrives.
-//
-// The scratch slices are reused by process on every call; process never
-// runs re-entrantly (all continuations go through the event loop), so one
-// set per node suffices.
-type nodeState struct {
-	r        *Router
-	id       int
-	seen     map[uint64]struct{}
-	seenQ    []seenRec
-	seenHead int
-	inflight map[uint64]*flight
-	// process scratch
-	dests      []int
-	exhausted  []int
-	groupHops  []int
-	groupDests [][]int
+// nodeShell adapts one node's forwarding engine onto the simulation: the
+// simulator is the engine clock and timer wheel (des.EventID is the timer
+// handle — Cancel is synchronous and reliable), netsim is the transport
+// (outbound algo2.Frames ride netsim data frames as payloads; hop-by-hop
+// ACKs are netsim control frames), the Router's Algorithm-1 tables are the
+// sending-list provider, and the metrics collector receives deliveries and
+// drops.
+type nodeShell struct {
+	r   *Router
+	id  int
+	eng *algo2.Engine[des.EventID]
 }
 
-// seenRec is one dedup entry in FIFO insertion order, used to expire the
-// seen set past the dedup horizon.
-type seenRec struct {
-	id uint64
-	at time.Duration
-}
+var _ algo2.Deps[des.EventID] = (*nodeShell)(nil)
 
-// noteSeen inserts a frame into the dedup set and expires entries older
-// than dedupHorizonFactor×MaxLifetime, keeping long runs flat in memory.
-func (ns *nodeState) noteSeen(id uint64, now time.Duration) {
-	horizon := dedupHorizonFactor * ns.r.opts.MaxLifetime
-	for ns.seenHead < len(ns.seenQ) && now-ns.seenQ[ns.seenHead].at > horizon {
-		delete(ns.seen, ns.seenQ[ns.seenHead].id)
-		ns.seenQ[ns.seenHead] = seenRec{}
-		ns.seenHead++
-	}
-	if ns.seenHead > 64 && ns.seenHead*2 >= len(ns.seenQ) {
-		n := copy(ns.seenQ, ns.seenQ[ns.seenHead:])
-		for i := n; i < len(ns.seenQ); i++ {
-			ns.seenQ[i] = seenRec{}
-		}
-		ns.seenQ = ns.seenQ[:n]
-		ns.seenHead = 0
-	}
-	ns.seen[id] = struct{}{}
-	ns.seenQ = append(ns.seenQ, seenRec{id: id, at: now})
-}
-
-// work tracks one received copy of a packet at one broker: the destinations
-// still unresolved here, the neighbors that already timed out for this copy,
-// and the routing path the copy arrived with. Works are pooled and
-// reference-counted: every flight and every scheduled re-process event
-// holds one reference.
-type work struct {
-	ns       *nodeState
-	pkt      pubsub.Packet
-	path     []int    // routing path as received (before appending self)
-	pathSet  []uint64 // bitset over broker IDs on path (plus self)
-	upstream int      // -1 when this broker is the origin
-	pending  []int    // unresolved destinations, sorted at process entry
-	failed   []int    // neighbors that timed out for this copy
-	refs     int
-}
-
-// addToPathSet marks broker b as on this copy's routing path.
-func (w *work) addToPathSet(b int) { w.pathSet[b>>6] |= 1 << (uint(b) & 63) }
-
-// onPath reports whether broker b is on this copy's routing path.
-func (w *work) onPath(b int) bool { return w.pathSet[b>>6]&(1<<(uint(b)&63)) != 0 }
-
-// hasFailed reports whether neighbor k already timed out for this copy.
-func (w *work) hasFailed(k int) bool {
-	for _, f := range w.failed {
-		if f == k {
-			return true
-		}
-	}
-	return false
-}
-
-// removePending deletes one destination from the pending slice.
-func (w *work) removePending(dest int) {
-	for i, d := range w.pending {
-		if d == dest {
-			w.pending = append(w.pending[:i], w.pending[i+1:]...)
-			return
-		}
-	}
-}
-
-// flight is one sent group awaiting its hop-by-hop ACK.
-type flight struct {
-	ns         *nodeState
-	frameID    uint64
-	to         int
-	w          *work
-	attempts   int
-	timer      des.EventID
-	toUpstream bool
-	payload    *dataPayload
-	timeout    time.Duration
-}
-
-// handleFrame dispatches network frames to the ACK or data paths.
-func (ns *nodeState) handleFrame(f netsim.Frame) {
+// handleFrame dispatches network frames to the ACK or data paths. For data
+// frames the hop-by-hop ACK (Algorithm 2 line 2) is sent before the engine
+// runs — for every received frame, duplicates included, lossy like any
+// frame.
+func (sh *nodeShell) handleFrame(f netsim.Frame) {
 	if f.Kind == netsim.Control && f.Ack != 0 {
-		ns.handleAck(f.Ack)
+		sh.eng.HandleAck(f.Ack)
 		return
 	}
 	switch p := f.Payload.(type) {
-	case *dataPayload:
-		ns.handleData(f, p)
+	case *algo2.Frame:
+		_ = sh.r.net.Send(netsim.Frame{
+			ID:   sh.r.net.NextFrameID(),
+			From: sh.id,
+			To:   f.From,
+			Kind: netsim.Control,
+			Ack:  f.ID,
+		})
+		sh.eng.HandleData(algo2.Inbound{
+			FrameID: f.ID,
+			From:    f.From,
+			Pkt:     p.Pkt,
+			Dests:   p.Dests,
+			Path:    p.Path,
+		})
 	default:
-		panic(fmt.Sprintf("core: node %d received unknown payload %T", ns.id, f.Payload))
+		panic(fmt.Sprintf("core: node %d received unknown payload %T", sh.id, f.Payload))
 	}
 }
 
-// handleAck resolves the in-flight group: the downstream neighbor took
-// responsibility for the group's destinations, so this broker aggressively
-// forgets them (§III: "each node aggressively deletes a copy of packet once
-// it receives an ACK from its downstream neighbor").
-func (ns *nodeState) handleAck(frameID uint64) {
-	fl, ok := ns.inflight[frameID]
-	if !ok {
-		return // duplicate or stale ACK
-	}
-	fl.timer.Cancel()
-	delete(ns.inflight, frameID)
-	ns.r.record(trace.Handoff, fl.w.pkt.ID, ns.id, fl.to, fl.payload.Dests, "")
-	w := fl.w
-	ns.r.releasePayload(fl.payload)
-	ns.r.releaseFlight(fl)
-	ns.r.releaseWork(w)
+// Now is the simulator clock.
+func (sh *nodeShell) Now() time.Duration { return sh.r.net.Sim().Now() }
+
+// AfterFunc schedules on the simulator (closure-free, pooled events).
+func (sh *nodeShell) AfterFunc(d time.Duration, fn func(any), arg any) des.EventID {
+	return sh.r.net.Sim().AfterFunc(d, fn, arg)
 }
 
-// handleData implements Algorithm 2 lines 1–6: ACK the sender immediately,
-// deliver to local subscribers, then start processing the remaining
-// destinations.
-func (ns *nodeState) handleData(f netsim.Frame, p *dataPayload) {
-	// Line 2: send ACK to the sender (hop-by-hop, lossy like any frame).
-	_ = ns.r.net.Send(netsim.Frame{
-		ID:   ns.r.net.NextFrameID(),
-		From: ns.id,
-		To:   f.From,
-		Kind: netsim.Control,
-		Ack:  f.ID,
-	})
-	if _, dup := ns.seen[f.ID]; dup {
-		return // retransmission of an already-processed frame
-	}
-	now := ns.r.net.Sim().Now()
-	ns.noteSeen(f.ID, now)
+// CancelTimer cancels a scheduled event; des guarantees a cancelled event
+// never fires (generation-checked handles), satisfying the Deps contract.
+func (sh *nodeShell) CancelTimer(t des.EventID) { t.Cancel() }
 
-	w := ns.r.allocWork(ns)
-	w.pkt = p.Pkt
-	w.path = append(w.path, p.Path...)
-	w.upstream = upstreamOf(ns.id, p.Path)
-	for _, b := range p.Path {
-		w.addToPathSet(b)
-	}
-	w.addToPathSet(ns.id)
-	for _, dest := range p.Dests {
-		if dest == ns.id {
-			ns.r.col.Deliver(p.Pkt.ID, dest, now)
-			ns.r.record(trace.Deliver, p.Pkt.ID, ns.id, f.From, nil, "")
-			continue
-		}
-		w.pending = append(w.pending, dest)
-	}
-	ns.process(w)
-	ns.r.releaseWork(w)
+// NextFrameID allocates a run-unique frame identifier.
+func (sh *nodeShell) NextFrameID() uint64 { return sh.r.net.NextFrameID() }
+
+// AckWait asks the network for the link's ACK round trip.
+func (sh *nodeShell) AckWait(k int) (time.Duration, bool) {
+	return sh.r.net.AckWait(sh.id, k)
 }
 
-// upstreamOf finds the upstream broker of node in a routing path: the entry
-// immediately before node's first appearance, or — when node never appears
-// (a fresh arrival) — the last sender on the path. Returns -1 when no
-// upstream exists (node is the origin).
-func upstreamOf(node int, path []int) int {
-	for i, b := range path {
-		if b == node {
-			if i == 0 {
-				return -1
-			}
-			return path[i-1]
-		}
-	}
-	if len(path) == 0 {
-		return -1
-	}
-	return path[len(path)-1]
-}
-
-// reprocessWork is the pooled callback for deferred process calls (retry
-// after a missing link or a persistency hold): the scheduled event holds
-// one work reference, released after processing.
-func reprocessWork(a any) {
-	w := a.(*work)
-	ns := w.ns
-	ns.process(w)
-	ns.r.releaseWork(w)
-}
-
-// process implements Algorithm 2 lines 7–29 event-dependently: every pending
-// destination is assigned to the first eligible sending-list neighbor,
-// destinations sharing a next hop are grouped into one frame, and
-// destinations whose list is exhausted are rerouted to the upstream broker
-// (or dropped at the origin).
-func (ns *nodeState) process(w *work) {
-	now := ns.r.net.Sim().Now()
-	slices.Sort(w.pending)
-	if now-w.pkt.PublishedAt > ns.r.opts.MaxLifetime {
-		for _, dest := range w.pending {
-			ns.r.col.Drop(w.pkt.ID, dest)
-		}
-		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, w.pending, "lifetime exceeded")
-		w.pending = w.pending[:0]
-		return
-	}
-	// Assign every pending destination to its first eligible neighbor,
-	// grouping by next hop; scratch buffers keep this allocation-free.
-	dests := append(ns.dests[:0], w.pending...)
-	ns.dests = dests
-	hops := ns.groupHops[:0]
-	exhausted := ns.exhausted[:0]
-	for _, dest := range dests {
-		k := ns.nextHop(w, dest)
-		if k < 0 {
-			exhausted = append(exhausted, dest)
-			continue
-		}
-		gi := -1
-		for j, h := range hops {
-			if h == k {
-				gi = j
-				break
-			}
-		}
-		if gi < 0 {
-			hops = append(hops, k)
-			gi = len(hops) - 1
-			if len(ns.groupDests) <= gi {
-				ns.groupDests = append(ns.groupDests, nil)
-			}
-			ns.groupDests[gi] = ns.groupDests[gi][:0]
-		}
-		ns.groupDests[gi] = append(ns.groupDests[gi], dest)
-	}
-	// Groups fire in ascending next-hop order (the deterministic event
-	// ordering contract); insertion sort over the handful of hops.
-	for i := 1; i < len(hops); i++ {
-		for j := i; j > 0 && hops[j] < hops[j-1]; j-- {
-			hops[j], hops[j-1] = hops[j-1], hops[j]
-			ns.groupDests[j], ns.groupDests[j-1] = ns.groupDests[j-1], ns.groupDests[j]
-		}
-	}
-	ns.groupHops = hops
-	ns.exhausted = exhausted
-	for gi := range hops {
-		ns.sendGroup(w, hops[gi], ns.groupDests[gi], false)
-	}
-	if len(exhausted) == 0 {
-		return
-	}
-	if w.upstream < 0 {
-		if ns.r.opts.Persistent {
-			ns.r.record(trace.Hold, w.pkt.ID, ns.id, -1, exhausted, "persistency: retry next epoch")
-			// Persistency mode (§III): hold the packet at the origin and
-			// resend once network conditions can have changed, with a
-			// clean slate (fresh path and failed set).
-			retry := ns.r.allocWork(ns)
-			retry.pkt = w.pkt
-			retry.upstream = -1
-			retry.addToPathSet(ns.id)
-			for _, dest := range exhausted {
-				w.removePending(dest)
-				retry.pending = append(retry.pending, dest)
-			}
-			wait := ns.r.net.NextEpochBoundary(now) - now
-			ns.r.net.Sim().AfterFunc(wait, reprocessWork, retry)
-			return
-		}
-		// The origin exhausted every neighbor: no usable path now.
-		for _, dest := range exhausted {
-			w.removePending(dest)
-			ns.r.col.Drop(w.pkt.ID, dest)
-		}
-		ns.r.record(trace.Drop, w.pkt.ID, ns.id, -1, exhausted, "origin exhausted sending list")
-		return
-	}
-	ns.r.record(trace.Reroute, w.pkt.ID, ns.id, w.upstream, exhausted, "sending list exhausted")
-	ns.sendGroup(w, w.upstream, exhausted, true)
-}
-
-// nextHop returns the first sending-list neighbor for dest that is neither
-// on the routing path nor already timed out for this copy, or -1.
-func (ns *nodeState) nextHop(w *work, dest int) int {
-	table, ok := ns.r.tables[w.pkt.Topic][dest]
-	if !ok {
-		return -1
-	}
-	for _, k := range table.List(ns.id) {
-		if w.onPath(k) || w.hasFailed(k) {
-			continue
-		}
-		return k
-	}
-	return -1
-}
-
-// sendGroup transmits one group to neighbor k (Algorithm 2 lines 13–22):
-// the broker appends itself to the routing path, sends a single frame
-// covering all destinations whose next hop is k, caches the packet and arms
-// an ACK timer scaled to the link's round trip.
-func (ns *nodeState) sendGroup(w *work, k int, dests []int, toUpstream bool) {
-	for _, dest := range dests {
-		w.removePending(dest)
-	}
-	w.path = append(w.path, ns.id) // line 20: add X to the routing path
-	wait, ok := ns.r.net.AckWait(ns.id, k)
-	if !ok {
-		// The table or path information referenced a non-link; mark the
-		// neighbor failed and retry via the event loop rather than crash.
-		w.failed = append(w.failed, k)
-		w.pending = append(w.pending, dests...)
-		ns.r.retainWork(w)
-		ns.r.net.Sim().AfterFunc(0, reprocessWork, w)
-		return
-	}
-	payload := ns.r.allocPayload()
-	payload.Pkt = w.pkt
-	payload.Dests = append(payload.Dests, dests...)
-	payload.Path = append(payload.Path, w.path...)
-	fl := ns.r.allocFlight()
-	fl.ns = ns
-	fl.frameID = ns.r.net.NextFrameID()
-	fl.to = k
-	fl.w = w
-	fl.attempts = 0
-	fl.toUpstream = toUpstream
-	fl.payload = payload
-	fl.timeout = wait + ns.r.opts.AckGuard
-	ns.inflight[fl.frameID] = fl
-	ns.r.retainWork(w)
-	ns.transmit(fl)
-}
-
-// ackTimeoutFired is the pooled ACK-timer callback.
-func ackTimeoutFired(a any) {
-	fl := a.(*flight)
-	fl.ns.ackTimeout(fl)
-}
-
-// transmit performs one transmission attempt and arms the ACK timer.
-func (ns *nodeState) transmit(fl *flight) {
-	fl.attempts++
-	if ns.r.opts.Tracer != nil {
-		note := fmt.Sprintf("attempt %d", fl.attempts)
-		if fl.toUpstream {
-			note += " (upstream)"
-		}
-		ns.r.record(trace.Send, fl.w.pkt.ID, ns.id, fl.to, fl.payload.Dests, note)
-	}
-	_ = ns.r.net.Send(netsim.Frame{
-		ID:      fl.frameID,
-		From:    ns.id,
-		To:      fl.to,
+// Send transmits one data frame; the pooled algo2.Frame itself is the
+// netsim payload. The receiver may read it only during its own delivery
+// event and only for frames that pass deduplication — both hold by
+// construction: the first delivery happens strictly before the ACK that
+// releases the frame, and duplicate deliveries land within one ACK round
+// trip, far inside the dedup horizon.
+func (sh *nodeShell) Send(f *algo2.Frame) {
+	_ = sh.r.net.Send(netsim.Frame{
+		ID:      f.ID,
+		From:    sh.id,
+		To:      f.To,
 		Kind:    netsim.Data,
-		Payload: fl.payload,
+		Payload: f,
 	})
-	fl.timer = ns.r.net.Sim().AfterFunc(fl.timeout, ackTimeoutFired, fl)
 }
 
-// ackTimeout fires when no ACK arrived in time: retransmit while attempts
-// remain (m per neighbor; unbounded toward the upstream, since the upstream
-// is the only remaining route), otherwise declare the neighbor failed for
-// this copy and re-process the group's destinations.
-func (ns *nodeState) ackTimeout(fl *flight) {
-	if _, live := ns.inflight[fl.frameID]; !live {
-		return // resolved concurrently
+// SendingList looks the Theorem-1 list up in the Algorithm-1 tables.
+func (sh *nodeShell) SendingList(topic int32, dest int) []int {
+	table, ok := sh.r.tables[topic][dest]
+	if !ok {
+		return nil
 	}
-	now := ns.r.net.Sim().Now()
-	ns.r.record(trace.Timeout, fl.w.pkt.ID, ns.id, fl.to, fl.payload.Dests, "")
-	expired := now-fl.w.pkt.PublishedAt > ns.r.opts.MaxLifetime
-	if !expired && (fl.toUpstream || fl.attempts < ns.r.opts.M) {
-		ns.transmit(fl)
-		return
+	return table.List(sh.id)
+}
+
+// LinkUp always holds in the simulation: dead links surface as ACK
+// timeouts, exactly the paper's model.
+func (sh *nodeShell) LinkUp(int) bool { return true }
+
+// Deliver hands a local delivery to the collector.
+func (sh *nodeShell) Deliver(pkt *algo2.Packet, _ int) {
+	sh.r.col.Deliver(pkt.ID, sh.id, sh.r.net.Sim().Now())
+}
+
+// Drop records every abandoned destination with the collector.
+func (sh *nodeShell) Drop(pkt *algo2.Packet, dests []int, _ algo2.DropReason) {
+	for _, dest := range dests {
+		sh.r.col.Drop(pkt.ID, dest)
 	}
-	delete(ns.inflight, fl.frameID)
-	w := fl.w
-	if expired {
-		for _, dest := range fl.payload.Dests {
-			ns.r.col.Drop(w.pkt.ID, dest)
-		}
-		ns.r.record(trace.Drop, w.pkt.ID, ns.id, fl.to, fl.payload.Dests, "lifetime exceeded")
-		ns.r.releasePayload(fl.payload)
-		ns.r.releaseFlight(fl)
-		ns.r.releaseWork(w)
-		return
-	}
-	if ns.r.opts.Tracer != nil {
-		ns.r.record(trace.Failover, w.pkt.ID, ns.id, fl.to, fl.payload.Dests,
-			fmt.Sprintf("no ACK after %d transmission(s)", fl.attempts))
-	}
-	w.failed = append(w.failed, fl.to)
-	w.pending = append(w.pending, fl.payload.Dests...)
-	ns.r.releasePayload(fl.payload)
-	ns.r.releaseFlight(fl)
-	ns.process(w)
-	ns.r.releaseWork(w)
+}
+
+// AckTimedOut is a no-op: the simulator's gamma comes from the monitoring
+// model, not from ACK outcomes.
+func (sh *nodeShell) AckTimedOut(int) {}
+
+// NextRetryAt is the next failure-epoch boundary — the earliest instant
+// link states can change (persistency mode).
+func (sh *nodeShell) NextRetryAt(now time.Duration) time.Duration {
+	return sh.r.net.NextEpochBoundary(now)
 }

@@ -305,28 +305,6 @@ func TestRouterDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
-func TestUpstreamOf(t *testing.T) {
-	tests := []struct {
-		name string
-		node int
-		path []int
-		want int
-	}{
-		{name: "empty path", node: 5, path: nil, want: -1},
-		{name: "fresh arrival", node: 5, path: []int{0, 1}, want: 1},
-		{name: "returned copy", node: 1, path: []int{0, 1, 2}, want: 0},
-		{name: "origin", node: 0, path: []int{0, 1, 2}, want: -1},
-		{name: "duplicate self entries", node: 1, path: []int{0, 1, 2, 1, 3}, want: 0},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			if got := upstreamOf(tt.node, tt.path); got != tt.want {
-				t.Errorf("upstreamOf(%d, %v) = %d, want %d", tt.node, tt.path, got, tt.want)
-			}
-		})
-	}
-}
-
 func TestRouterOptionsDefaults(t *testing.T) {
 	o := RouterOptions{}.withDefaults()
 	if o.M != 1 || o.AckGuard != time.Millisecond || o.MaxLifetime != 30*time.Second {

@@ -184,6 +184,9 @@ type Stats struct {
 	// DroppedQueue counts frames lost to full transmit queues
 	// (congestion loss; only with LinkBandwidth and QueueCapacity set).
 	DroppedQueue uint64
+	// DroppedFiltered counts frames swallowed by a SetDropFilter hook
+	// (scripted-loss test harnesses).
+	DroppedFiltered uint64
 	// Delivered counts frames handed to a receiving node.
 	Delivered uint64
 }
@@ -229,6 +232,9 @@ type Network struct {
 	cfg      Config
 	n        int
 	handlers []Handler
+	// dropFilter, when set, swallows matching frames at send time
+	// (scripted loss for differential harnesses); see SetDropFilter.
+	dropFilter func(Frame) bool
 	// linkOf[from*n+to] is the undirected link index, or -1 when the pair
 	// is not linked. delayOf and ackWaitOf cache the per-directed-pair
 	// propagation delay and ACK wait (meaningful only where linkOf >= 0).
@@ -328,6 +334,15 @@ func (n *Network) Stats() Stats { return n.stats }
 func (n *Network) SetHandler(node int, h Handler) {
 	n.handlers[node] = h
 }
+
+// SetDropFilter installs a scripted-loss hook: every frame for which fn
+// returns true is silently dropped at send time (counted as
+// Stats.DroppedFiltered), after the transmission counters but before the
+// failure and random-loss models — the sender still pays for the attempt,
+// exactly like a frame lost on the wire. Differential and fault-injection
+// tests use this to impose a deterministic loss schedule; nil removes the
+// hook.
+func (n *Network) SetDropFilter(fn func(Frame) bool) { n.dropFilter = fn }
 
 // NextFrameID allocates a run-unique frame identifier.
 func (n *Network) NextFrameID() uint64 {
@@ -529,6 +544,10 @@ func (n *Network) Send(frame Frame) error {
 		n.stats.ControlTransmissions++
 	default:
 		return fmt.Errorf("netsim: frame with unset kind on link (%d,%d)", frame.From, frame.To)
+	}
+	if n.dropFilter != nil && n.dropFilter(frame) {
+		n.stats.DroppedFiltered++
+		return nil
 	}
 	if !n.Alive(frame.From, frame.To, n.sim.Now()) {
 		n.stats.DroppedFailure++

@@ -86,6 +86,35 @@ func TestSendOverMissingLinkFails(t *testing.T) {
 	}
 }
 
+func TestDropFilterScriptedLoss(t *testing.T) {
+	g := pairGraph(t, time.Millisecond)
+	sim, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
+	delivered := 0
+	n.SetHandler(1, func(Frame) { delivered++ })
+	n.SetDropFilter(func(f Frame) bool { return f.Kind == Data })
+	if err := n.Send(Frame{ID: 1, From: 0, To: 1, Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Frame{ID: 2, From: 0, To: 1, Kind: Control, Ack: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDropFilter(nil)
+	if err := n.Send(Frame{ID: 3, From: 0, To: 1, Kind: Data}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2 (filtered data frame must vanish)", delivered)
+	}
+	st := n.Stats()
+	if st.DroppedFiltered != 1 {
+		t.Errorf("DroppedFiltered = %d, want 1", st.DroppedFiltered)
+	}
+	if st.DataTransmissions != 2 || st.ControlTransmissions != 1 {
+		t.Errorf("transmission counters = %+v (filtered send must still count)", st)
+	}
+}
+
 func TestUnsetFrameKindRejected(t *testing.T) {
 	g := pairGraph(t, time.Millisecond)
 	_, n := newNet(t, g, Config{FailureEpoch: time.Second, MonitorInterval: time.Minute})
