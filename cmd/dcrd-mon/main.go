@@ -60,6 +60,8 @@ func run(args []string, out io.Writer) error {
 func printStats(out io.Writer, r *wire.StatsReply) {
 	fmt.Fprintf(out, "broker %d: published %d, delivered %d, forwarded %d, dropped %d\n",
 		r.BrokerID, r.Published, r.Delivered, r.Forwarded, r.Dropped)
+	fmt.Fprintf(out, "  queue drops %d, redials %d, reconnects %d\n",
+		r.QueueDrops, r.Redials, r.Reconnects)
 	if len(r.Neighbors) > 0 {
 		fmt.Fprintln(out, "neighbors:")
 		for _, n := range r.Neighbors {

@@ -44,6 +44,7 @@ func TestPrintStatsFull(t *testing.T) {
 	var sb strings.Builder
 	printStats(&sb, &wire.StatsReply{
 		BrokerID: 1, Published: 2, Delivered: 3, Forwarded: 4, Dropped: 5,
+		QueueDrops: 6, Redials: 7, Reconnects: 8,
 		Neighbors: []wire.NeighborStat{
 			{ID: 2, Connected: true, Alpha: 15 * time.Millisecond, Gamma: 0.98},
 			{ID: 4, Connected: false, Alpha: 20 * time.Millisecond, Gamma: 0.5},
@@ -55,6 +56,7 @@ func TestPrintStatsFull(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"broker 1: published 2, delivered 3, forwarded 4, dropped 5",
+		"queue drops 6, redials 7, reconnects 8",
 		"up", "DOWN", "gamma 0.980",
 		"topic 7", "list 2",
 	} {

@@ -312,6 +312,11 @@ type Engine[T any] struct {
 	seenQ    []seenRec
 	seenHead int
 	inflight map[uint64]*flight[T]
+	// pendingRetries tracks scheduled re-process events (deferred retries
+	// after a missing link, persistency holds) so Shutdown can cancel them
+	// and release their work references; freeRetries recycles the wrappers.
+	pendingRetries []*retryRef[T]
+	freeRetries    []*retryRef[T]
 	// Timer callbacks, instantiated once: evaluating a generic function as
 	// a func value allocates its dictionary closure, so the hot path must
 	// not do it per call.
@@ -343,12 +348,67 @@ func NewEngine[T any](cfg Config, deps Deps[T], pools *Pools[T]) *Engine[T] {
 // InflightCount reports how many sent groups await their hop-by-hop ACK.
 func (e *Engine[T]) InflightCount() int { return len(e.inflight) }
 
-// Shutdown cancels every in-flight ACK timer. State is left as-is; the
-// engine must not be used afterwards.
+// Shutdown cancels every pending timer — in-flight ACK timers and
+// scheduled re-process/persistency retries — and releases all pooled state
+// they held, so Pools.Live returns to zero no matter how much traffic was
+// in flight. The engine must not be used afterwards.
 func (e *Engine[T]) Shutdown() {
-	for _, fl := range e.inflight {
+	for id, fl := range e.inflight {
 		e.deps.CancelTimer(fl.timer)
+		delete(e.inflight, id)
+		w := fl.w
+		e.pools.releaseFrame(fl.frame)
+		e.pools.releaseFlight(fl)
+		e.pools.releaseWork(w)
 	}
+	for _, ref := range e.pendingRetries {
+		e.deps.CancelTimer(ref.timer)
+		e.pools.releaseWork(ref.w)
+		ref.w = nil
+	}
+	e.pendingRetries = e.pendingRetries[:0]
+}
+
+// retryRef is the argument of a scheduled re-process event: it keeps the
+// event cancelable (and its work reference releasable) at Shutdown.
+type retryRef[T any] struct {
+	eng   *Engine[T]
+	w     *work[T]
+	timer T
+}
+
+// scheduleReprocess arms a deferred process(w) after d. The caller has
+// already accounted w's reference for the event.
+func (e *Engine[T]) scheduleReprocess(w *work[T], d time.Duration) {
+	var ref *retryRef[T]
+	if l := len(e.freeRetries); l > 0 {
+		ref = e.freeRetries[l-1]
+		e.freeRetries[l-1] = nil
+		e.freeRetries = e.freeRetries[:l-1]
+	} else {
+		ref = &retryRef[T]{}
+	}
+	ref.eng = e
+	ref.w = w
+	e.pendingRetries = append(e.pendingRetries, ref)
+	ref.timer = e.deps.AfterFunc(d, e.reprocessFn, ref)
+}
+
+// unregisterRetry removes one fired retry from the pending list.
+func (e *Engine[T]) unregisterRetry(ref *retryRef[T]) {
+	for i, r := range e.pendingRetries {
+		if r == ref {
+			last := len(e.pendingRetries) - 1
+			e.pendingRetries[i] = e.pendingRetries[last]
+			e.pendingRetries[last] = nil
+			e.pendingRetries = e.pendingRetries[:last]
+			break
+		}
+	}
+	ref.w = nil
+	var zero T
+	ref.timer = zero
+	e.freeRetries = append(e.freeRetries, ref)
 }
 
 // record emits a trace event when tracing is enabled. dests is copied so
@@ -561,8 +621,10 @@ func UpstreamOf(node int, path []int) int {
 // after a missing link or a persistency hold): the scheduled event holds
 // one work reference, released after processing.
 func reprocessWork[T any](a any) {
-	w := a.(*work[T])
-	e := w.eng
+	ref := a.(*retryRef[T])
+	e := ref.eng
+	w := ref.w
+	e.unregisterRetry(ref)
 	e.process(w)
 	e.pools.releaseWork(w)
 }
@@ -641,7 +703,7 @@ func (e *Engine[T]) process(w *work[T]) {
 				retry.pending = append(retry.pending, dest)
 			}
 			wait := e.deps.NextRetryAt(now) - now
-			e.deps.AfterFunc(wait, e.reprocessFn, retry)
+			e.scheduleReprocess(retry, wait)
 			return
 		}
 		// The origin exhausted every neighbor: no usable path now.
@@ -688,7 +750,7 @@ func (e *Engine[T]) sendGroup(w *work[T], k int, dests []int, toUpstream bool) {
 		w.failed = append(w.failed, k)
 		w.pending = append(w.pending, dests...)
 		w.refs++
-		e.deps.AfterFunc(0, e.reprocessFn, w)
+		e.scheduleReprocess(w, 0)
 		return
 	}
 	f := e.pools.allocFrame()

@@ -29,6 +29,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algo2"
@@ -54,10 +55,27 @@ type Config struct {
 	// AdvertInterval is how often parameters are re-advertised even
 	// without changes (repairs lost adverts).
 	AdvertInterval time.Duration
-	// DialRetry is the back-off between reconnect attempts to a neighbor.
+	// DialRetry is the base back-off between reconnect attempts to a
+	// neighbor; consecutive failures back off exponentially (with jitter)
+	// from this base up to DialRetryMax, resetting on a successful attach.
 	DialRetry time.Duration
+	// DialRetryMax caps the exponential redial back-off (default 4s, and
+	// never below DialRetry).
+	DialRetryMax time.Duration
+	// WriteTimeout bounds each coalesced flush to a peer; a flush that
+	// cannot complete in time drops the connection (and the dial loop
+	// re-establishes it) instead of wedging the writer goroutine behind a
+	// stalled peer forever.
+	WriteTimeout time.Duration
 	// MaxLifetime bounds how long one packet may be retried.
 	MaxLifetime time.Duration
+	// Persistent enables the paper's §III persistency mode: a publish whose
+	// origin exhausts every neighbor is held and retried every RetryInterval
+	// (instead of dropped) until MaxLifetime, riding out transient
+	// partitions that outlast the sending list.
+	Persistent bool
+	// RetryInterval paces persistency retries (default 100ms).
+	RetryInterval time.Duration
 	// SendQueue is the per-connection outbound queue length (messages)
 	// feeding each writer pipeline; a full queue drops messages after a
 	// brief backpressure wait instead of blocking the sender.
@@ -90,8 +108,20 @@ func (c Config) withDefaults() Config {
 	if c.DialRetry <= 0 {
 		c.DialRetry = 250 * time.Millisecond
 	}
+	if c.DialRetryMax <= 0 {
+		c.DialRetryMax = 4 * time.Second
+	}
+	if c.DialRetryMax < c.DialRetry {
+		c.DialRetryMax = c.DialRetry
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
 	if c.MaxLifetime <= 0 {
 		c.MaxLifetime = 30 * time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 100 * time.Millisecond
 	}
 	if c.SendQueue < 1 {
 		c.SendQueue = defaultSendQueue
@@ -132,18 +162,29 @@ type Broker struct {
 	destsBuf []int
 	pathBuf  []int
 
+	// pools is the engine's object pool, kept for leak accounting
+	// (Pools.Live must return to zero once all traffic resolves).
+	pools *algo2.Pools[*ackTimer]
+
 	nextFrameID  uint64
 	nextPacketID uint64
 	closed       bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
+	// goCount tracks live goTracked goroutines; Close must return it to
+	// zero, and the chaos soak asserts that it does.
+	goCount atomic.Int64
 
 	// stats
 	published uint64
 	delivered uint64
 	forwarded uint64
 	dropped   uint64
+	// Concurrent counters incremented outside b.mu by writers/dial loops.
+	queueDrops atomic.Uint64 // messages dropped on a full send queue
+	redials    atomic.Uint64 // failed neighbor dial attempts
+	reconnects atomic.Uint64 // neighbor re-attaches after the first
 }
 
 type routeKey struct {
@@ -192,15 +233,26 @@ func New(cfg Config) (*Broker, error) {
 		epoch:         time.Now(),
 		done:          make(chan struct{}),
 	}
+	// A restarted broker must not reuse frame or packet IDs its previous
+	// incarnation put on the wire recently: peers retain both in dedup
+	// state for up to 2×MaxLifetime, and a collision would silently swallow
+	// fresh traffic. Seeding the counters from the wall clock (masked to
+	// the 48-bit counter space) keeps them monotonic across restarts —
+	// nanoseconds advance far faster than frames are sent.
+	incarnation := uint64(time.Now().UnixNano()) & (1<<48 - 1)
+	b.nextFrameID = incarnation
+	b.nextPacketID = incarnation
 	// nodesHint sizes the engine's path bitsets; neighbors is a lower bound
 	// on the overlay size and the bitsets grow on demand past it.
+	b.pools = algo2.NewPools[*ackTimer](cfg.ID + len(cfg.Neighbors) + 1)
 	b.eng = algo2.NewEngine[*ackTimer](algo2.Config{
 		NodeID:      cfg.ID,
 		M:           cfg.M,
 		AckGuard:    cfg.AckGuard,
 		MaxLifetime: cfg.MaxLifetime,
+		Persistent:  cfg.Persistent,
 		Tracer:      cfg.Tracer,
-	}, liveShell{b: b}, algo2.NewPools[*ackTimer](cfg.ID+len(cfg.Neighbors)+1))
+	}, liveShell{b: b}, b.pools)
 	return b, nil
 }
 
@@ -317,6 +369,11 @@ type Stats struct {
 	Delivered uint64 // deliveries to local subscribers
 	Forwarded uint64 // data frames sent to neighbors
 	Dropped   uint64 // destinations given up on
+	// Degradation counters: silent in a healthy overlay, moving whenever
+	// the broker sheds load or links flap.
+	QueueDrops uint64 // messages dropped on a full per-connection queue
+	Redials    uint64 // failed neighbor dial attempts
+	Reconnects uint64 // neighbor links re-attached after their first attach
 }
 
 // Stats returns the current counters.
@@ -324,11 +381,27 @@ func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return Stats{
-		Published: b.published,
-		Delivered: b.delivered,
-		Forwarded: b.forwarded,
-		Dropped:   b.dropped,
+		Published:  b.published,
+		Delivered:  b.delivered,
+		Forwarded:  b.forwarded,
+		Dropped:    b.dropped,
+		QueueDrops: b.queueDrops.Load(),
+		Redials:    b.redials.Load(),
+		Reconnects: b.reconnects.Load(),
 	}
+}
+
+// Goroutines reports the broker's live tracked goroutines. After Close it
+// must be zero — the chaos soak and shutdown tests assert this.
+func (b *Broker) Goroutines() int { return int(b.goCount.Load()) }
+
+// PoolsLive reports the engine's outstanding pooled objects (works,
+// flights, frames). Once every packet resolves — and always after Close —
+// all three must be zero, or the engine leaked.
+func (b *Broker) PoolsLive() (works, flights, frames int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pools.Live()
 }
 
 // statsReply snapshots the broker's operational state for a monitoring
@@ -337,12 +410,15 @@ func (b *Broker) statsReply(token uint64) *wire.StatsReply {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	reply := &wire.StatsReply{
-		Token:     token,
-		BrokerID:  int32(b.cfg.ID),
-		Published: b.published,
-		Delivered: b.delivered,
-		Forwarded: b.forwarded,
-		Dropped:   b.dropped,
+		Token:      token,
+		BrokerID:   int32(b.cfg.ID),
+		Published:  b.published,
+		Delivered:  b.delivered,
+		Forwarded:  b.forwarded,
+		Dropped:    b.dropped,
+		QueueDrops: b.queueDrops.Load(),
+		Redials:    b.redials.Load(),
+		Reconnects: b.reconnects.Load(),
 	}
 	ids := make([]int, 0, len(b.neighbors))
 	for id := range b.neighbors {
@@ -382,11 +458,15 @@ func (b *Broker) statsReply(token uint64) *wire.StatsReply {
 	return reply
 }
 
-// goTracked runs fn on a goroutine registered with the broker's WaitGroup.
+// goTracked runs fn on a goroutine registered with the broker's WaitGroup
+// and counted in goCount (Goroutines reports the live count; leak tests
+// assert it returns to zero after Close).
 func (b *Broker) goTracked(fn func()) {
 	b.wg.Add(1)
+	b.goCount.Add(1)
 	go func() {
 		defer b.wg.Done()
+		defer b.goCount.Add(-1)
 		fn()
 	}()
 }

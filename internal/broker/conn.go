@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -33,6 +35,10 @@ const (
 	// readBufSize is the buffered-reader size in front of each connection's
 	// frame decoder.
 	readBufSize = 64 << 10
+	// handshakeTimeout bounds how long an inbound connection may sit
+	// without sending its Hello before the broker gives up on it — a
+	// half-open peer must not pin an accept goroutine forever.
+	handshakeTimeout = 10 * time.Second
 )
 
 var (
@@ -49,9 +55,12 @@ type connWriter struct {
 	queue chan wire.Message
 	stop  chan struct{}
 	once  sync.Once
+	// drops counts queue-full message drops into the broker's shared
+	// QueueDrops counter (nil discards).
+	drops *atomic.Uint64
 }
 
-func newConnWriter(conn net.Conn, queueLen int) *connWriter {
+func newConnWriter(conn net.Conn, queueLen int, drops *atomic.Uint64) *connWriter {
 	if queueLen < 1 {
 		queueLen = defaultSendQueue
 	}
@@ -59,6 +68,7 @@ func newConnWriter(conn net.Conn, queueLen int) *connWriter {
 		conn:  conn,
 		queue: make(chan wire.Message, queueLen),
 		stop:  make(chan struct{}),
+		drops: drops,
 	}
 }
 
@@ -90,6 +100,9 @@ func (w *connWriter) send(msg wire.Message) error {
 	case <-w.stop:
 		return errNotConnected
 	case <-t.C:
+		if w.drops != nil {
+			w.drops.Add(1)
+		}
 		return errSendQueueFull
 	}
 }
@@ -121,6 +134,10 @@ func (b *Broker) runWriter(w *connWriter, label string, onExit func()) {
 		if len(buf) == 0 {
 			continue
 		}
+		// Bound the flush: a peer that stops reading (stalled TCP window)
+		// must surface as a write error so the connection is dropped and
+		// redialed, not wedge this writer forever.
+		_ = w.conn.SetWriteDeadline(time.Now().Add(b.cfg.WriteTimeout))
 		if _, err := w.conn.Write(buf); err != nil {
 			if !b.stopping() {
 				b.logf("%s write: %v", label, err)
@@ -156,6 +173,7 @@ type neighborConn struct {
 	mu       sync.Mutex
 	conn     net.Conn
 	w        *connWriter
+	attaches int
 	alpha    time.Duration
 	gamma    float64
 	lastPing map[uint64]time.Time
@@ -206,11 +224,16 @@ func (nc *neighborConn) connected() bool {
 // attach installs a TCP connection, replacing any previous one, and starts
 // its writer pipeline.
 func (nc *neighborConn) attach(b *Broker, conn net.Conn) {
-	w := newConnWriter(conn, b.cfg.SendQueue)
+	w := newConnWriter(conn, b.cfg.SendQueue, &b.queueDrops)
 	nc.mu.Lock()
 	old, oldW := nc.conn, nc.w
 	nc.conn, nc.w = conn, w
+	nc.attaches++
+	reattach := nc.attaches > 1
 	nc.mu.Unlock()
+	if reattach {
+		b.reconnects.Add(1)
+	}
 	if oldW != nil {
 		oldW.shutdown()
 	}
@@ -220,6 +243,14 @@ func (nc *neighborConn) attach(b *Broker, conn net.Conn) {
 	b.goTracked(func() {
 		b.runWriter(w, fmt.Sprintf("neighbor %d", nc.id), func() { nc.detach(conn) })
 	})
+	// A dial or inbound handshake that completes while Close is tearing
+	// links down can install this connection after Close's pass over
+	// b.neighbors — nothing would ever close it and Close would wait on its
+	// read loop forever. The done channel is closed before that pass, so
+	// checking after installing covers the race.
+	if b.stopping() {
+		nc.detach(conn)
+	}
 }
 
 // detach drops the connection (and stops its writer) if it is still the
@@ -358,11 +389,13 @@ func (b *Broker) acceptLoop() {
 // handleInbound performs the Hello handshake and dispatches to the broker
 // or client read loop.
 func (b *Broker) handleInbound(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	msg, err := wire.Read(conn)
 	if err != nil {
 		_ = conn.Close()
 		return
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	hello, ok := msg.(*wire.Hello)
 	if !ok {
 		b.logf("inbound %s: first frame %v, want HELLO", conn.RemoteAddr(), msg.Type())
@@ -401,10 +434,27 @@ func (b *Broker) neighbor(id int) *neighborConn {
 	return nc
 }
 
-// dialLoop owns the outbound connection to a higher-ID neighbor, redialing
-// with back-off whenever it drops.
+// dialLoop owns the outbound connection to a higher-ID neighbor. Failed
+// attempts back off exponentially (DialRetry base, DialRetryMax cap) with
+// ±25% jitter so a rebooted peer is not hammered in lockstep by every
+// neighbor at once; a successful attach resets the backoff.
 func (b *Broker) dialLoop(id int, addr string) {
 	nc := b.neighbor(id)
+	backoff := b.cfg.DialRetry
+	fail := func() bool { // sleep one jittered backoff step, then widen it
+		b.redials.Add(1)
+		d := backoff
+		if d > 4*time.Microsecond {
+			d = d - d/4 + time.Duration(rand.Int63n(int64(d/2)))
+		}
+		if !sleepUnlessDone(b.done, d) {
+			return false
+		}
+		if backoff *= 2; backoff > b.cfg.DialRetryMax {
+			backoff = b.cfg.DialRetryMax
+		}
+		return true
+	}
 	for !b.stopping() {
 		if nc.connected() {
 			if !sleepUnlessDone(b.done, b.cfg.DialRetry) {
@@ -414,15 +464,19 @@ func (b *Broker) dialLoop(id int, addr string) {
 		}
 		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 		if err != nil {
-			if !sleepUnlessDone(b.done, b.cfg.DialRetry) {
+			if !fail() {
 				return
 			}
 			continue
 		}
 		if err := wire.Write(conn, &wire.Hello{BrokerID: int32(b.cfg.ID), Name: "broker"}); err != nil {
 			_ = conn.Close()
+			if !fail() {
+				return
+			}
 			continue
 		}
+		backoff = b.cfg.DialRetry
 		nc.attach(b, conn)
 		b.logf("neighbor %d connected (outbound)", id)
 		b.readNeighbor(nc, conn)
@@ -472,7 +526,7 @@ func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 // its requests through a pooled Reader (messages recycled per frame, same
 // ownership rule as readNeighbor).
 func (b *Broker) handleClientConn(name string, conn net.Conn) {
-	c := &clientConn{name: name, conn: conn, w: newConnWriter(conn, b.cfg.SendQueue)}
+	c := &clientConn{name: name, conn: conn, w: newConnWriter(conn, b.cfg.SendQueue, &b.queueDrops)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()

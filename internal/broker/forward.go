@@ -185,10 +185,11 @@ func (s liveShell) AckTimedOut(k int) {
 	}
 }
 
-// NextRetryAt satisfies the Deps interface; the live broker never enables
-// persistency (Config.Persistent is always false here), so it is unused.
+// NextRetryAt paces §III persistency retries: a packet whose sending list
+// is unreachable is re-processed every RetryInterval until a route appears
+// or its lifetime expires.
 func (s liveShell) NextRetryAt(now time.Duration) time.Duration {
-	return now + s.b.cfg.AckGuard
+	return now + s.b.cfg.RetryInterval
 }
 
 // publishLocal accepts a publish from a connected client: deliver to local

@@ -216,14 +216,17 @@ type RouteStat struct {
 
 // StatsReply reports a broker's operational state.
 type StatsReply struct {
-	Token     uint64
-	BrokerID  int32
-	Published uint64
-	Delivered uint64
-	Forwarded uint64
-	Dropped   uint64
-	Neighbors []NeighborStat
-	Routes    []RouteStat
+	Token      uint64
+	BrokerID   int32
+	Published  uint64
+	Delivered  uint64
+	Forwarded  uint64
+	Dropped    uint64
+	QueueDrops uint64 // messages shed by full per-connection send queues
+	Redials    uint64 // failed outbound dial attempts
+	Reconnects uint64 // neighbor links re-established after a drop
+	Neighbors  []NeighborStat
+	Routes     []RouteStat
 }
 
 // interface conformance
@@ -792,6 +795,9 @@ func (m *StatsReply) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Delivered)
 	dst = appendU64(dst, m.Forwarded)
 	dst = appendU64(dst, m.Dropped)
+	dst = appendU64(dst, m.QueueDrops)
+	dst = appendU64(dst, m.Redials)
+	dst = appendU64(dst, m.Reconnects)
 	dst = appendU16(dst, uint16(len(m.Neighbors)))
 	for _, n := range m.Neighbors {
 		dst = appendI32(dst, n.ID)
@@ -827,6 +833,15 @@ func (m *StatsReply) decode(r *reader) (err error) {
 		return err
 	}
 	if m.Dropped, err = r.u64(); err != nil {
+		return err
+	}
+	if m.QueueDrops, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Redials, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Reconnects, err = r.u64(); err != nil {
 		return err
 	}
 	m.Neighbors = m.Neighbors[:0]

@@ -55,6 +55,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&StatsReply{
 			Token: 31337, BrokerID: 2,
 			Published: 10, Delivered: 20, Forwarded: 30, Dropped: 1,
+			QueueDrops: 6, Redials: 4, Reconnects: 2,
 			Neighbors: []NeighborStat{
 				{ID: 1, Connected: true, Alpha: 12 * time.Millisecond, Gamma: 0.97},
 				{ID: 5, Connected: false, Alpha: 30 * time.Millisecond, Gamma: 0.4},
