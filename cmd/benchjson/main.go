@@ -69,6 +69,7 @@ type Result struct {
 func main() {
 	checkPath := flag.String("check", "", "baseline JSON to diff the run on stdin against; exit 1 on ns/op regression")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op increase before -check fails")
+	require := flag.String("require", "", "comma-separated benchmark-name prefixes that must appear in a -check run; a missing one fails the check (guards gated benchmarks against silently vanishing from the suite)")
 	flag.Parse()
 
 	results, err := parseBench(os.Stdin)
@@ -80,7 +81,11 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if !check(os.Stdout, results, baseline, *threshold) {
+		ok := check(os.Stdout, results, baseline, *threshold)
+		if !checkRequired(os.Stdout, results, *require) {
+			ok = false
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -268,6 +273,32 @@ func check(w io.Writer, results, baseline map[string]Result, threshold float64) 
 	}
 	if !ok {
 		fmt.Fprintf(w, "benchjson: regression above %.0f%% threshold\n", 100*threshold)
+	}
+	return ok
+}
+
+// checkRequired verifies that every comma-separated name prefix in require
+// matches at least one benchmark in the run. The regression gate treats
+// absent benchmarks as "new, not failed", so without this a gated benchmark
+// could be renamed or deleted and the check would silently stop covering it.
+func checkRequired(w io.Writer, results map[string]Result, require string) bool {
+	ok := true
+	for _, prefix := range strings.Split(require, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		found := false
+		for name := range results {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, " MISS %s: required benchmark absent from this run\n", prefix)
+			ok = false
+		}
 	}
 	return ok
 }

@@ -107,6 +107,35 @@ func TestCheckBytesRegression(t *testing.T) {
 	}
 }
 
+// TestCheckRequired pins the -require rule: a required benchmark prefix
+// missing from the run fails the check (the regression gate alone treats
+// absences as "new", so a gated benchmark could otherwise vanish silently).
+func TestCheckRequired(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkBrokerSharded/cpus=8": {NsPerOp: 100},
+	}
+	var out strings.Builder
+	if !checkRequired(&out, results, "BenchmarkBrokerSharded/cpus=8") {
+		t.Errorf("present benchmark reported missing:\n%s", out.String())
+	}
+	out.Reset()
+	if checkRequired(&out, map[string]Result{"BenchmarkOther": {NsPerOp: 1}}, "BenchmarkBrokerSharded/cpus=8") {
+		t.Error("missing required benchmark passed check")
+	}
+	if !strings.Contains(out.String(), "MISS") || !strings.Contains(out.String(), "BenchmarkBrokerSharded/cpus=8") {
+		t.Errorf("failure report does not name the missing benchmark:\n%s", out.String())
+	}
+	out.Reset()
+	if !checkRequired(&out, map[string]Result{}, "") {
+		t.Error("empty -require failed check")
+	}
+	// Prefix semantics: requiring the parent name is satisfied by sub-runs.
+	out.Reset()
+	if !checkRequired(&out, results, "BenchmarkBrokerSharded") {
+		t.Errorf("prefix match failed:\n%s", out.String())
+	}
+}
+
 // TestCheckNsRegressionStillFails keeps the original ns/op rule intact.
 func TestCheckNsRegressionStillFails(t *testing.T) {
 	baseline := map[string]Result{"BenchmarkX": {NsPerOp: 100}}

@@ -62,6 +62,13 @@ func printStats(out io.Writer, r *wire.StatsReply) {
 		r.BrokerID, r.Published, r.Delivered, r.Forwarded, r.Dropped)
 	fmt.Fprintf(out, "  queue drops %d, redials %d, reconnects %d\n",
 		r.QueueDrops, r.Redials, r.Reconnects)
+	if len(r.Shards) > 0 {
+		fmt.Fprintln(out, "shards:")
+		for i, sh := range r.Shards {
+			fmt.Fprintf(out, "  %3d  depth %-5d enqueued %-10d processed %-10d inflight %d\n",
+				i, sh.Depth, sh.Enqueued, sh.Processed, sh.Inflight)
+		}
+	}
 	if len(r.Neighbors) > 0 {
 		fmt.Fprintln(out, "neighbors:")
 		for _, n := range r.Neighbors {

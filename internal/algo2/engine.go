@@ -27,6 +27,7 @@ package algo2
 import (
 	"fmt"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -174,10 +175,12 @@ func (c Config) withDefaults() Config {
 
 // Pools is the shared object pool for the engines of one deployment.
 // Sharing one Pools across all of a simulation's per-node engines (or
-// handing the live broker's single engine its own) keeps steady state
-// allocation-free; access is serialized by the same discipline as the
-// engines themselves. Backing slices inside recycled objects are kept, so
-// steady state reuses their capacity.
+// handing each of the live broker's shards its own) keeps steady state
+// allocation-free; the free lists are serialized by the same discipline as
+// the engines themselves, but the live counters are atomic so an observer
+// (Broker.PoolsLive aggregating across shards) can read them without
+// entering any engine's serialization domain. Backing slices inside
+// recycled objects are kept, so steady state reuses their capacity.
 type Pools[T any] struct {
 	// words is the initial pathSet bitset length, (nodesHint+63)/64;
 	// bitsets grow on demand when IDs exceed the hint.
@@ -186,9 +189,9 @@ type Pools[T any] struct {
 	freeFlight []*flight[T]
 	freeFrame  []*Frame
 
-	liveWork   int
-	liveFlight int
-	liveFrame  int
+	liveWork   atomic.Int64
+	liveFlight atomic.Int64
+	liveFrame  atomic.Int64
 }
 
 // NewPools sizes a pool for a deployment of about nodesHint nodes (path
@@ -202,9 +205,10 @@ func NewPools[T any](nodesHint int) *Pools[T] {
 }
 
 // Live returns the outstanding (not yet recycled) object counts — the
-// fuzz harness checks these return to zero once every packet resolves.
+// fuzz harness checks these return to zero once every packet resolves. It
+// is safe to call from outside the pool's serialization domain.
 func (p *Pools[T]) Live() (works, flights, frames int) {
-	return p.liveWork, p.liveFlight, p.liveFrame
+	return int(p.liveWork.Load()), int(p.liveFlight.Load()), int(p.liveFrame.Load())
 }
 
 // allocWork takes a work object from the pool with one reference held by
@@ -218,7 +222,7 @@ func (p *Pools[T]) allocWork(e *Engine[T]) *work[T] {
 	} else {
 		w = &work[T]{pathSet: make([]uint64, p.words)}
 	}
-	p.liveWork++
+	p.liveWork.Add(1)
 	w.eng = e
 	w.path = w.path[:0]
 	w.pending = w.pending[:0]
@@ -232,7 +236,7 @@ func (p *Pools[T]) allocWork(e *Engine[T]) *work[T] {
 func (p *Pools[T]) releaseWork(w *work[T]) {
 	w.refs--
 	if w.refs == 0 {
-		p.liveWork--
+		p.liveWork.Add(-1)
 		w.eng = nil
 		w.pkt = Packet{}
 		p.freeWork = append(p.freeWork, w)
@@ -241,7 +245,7 @@ func (p *Pools[T]) releaseWork(w *work[T]) {
 
 // allocFrame takes a frame from the pool, keeping recycled capacity.
 func (p *Pools[T]) allocFrame() *Frame {
-	p.liveFrame++
+	p.liveFrame.Add(1)
 	if l := len(p.freeFrame); l > 0 {
 		f := p.freeFrame[l-1]
 		p.freeFrame[l-1] = nil
@@ -255,14 +259,14 @@ func (p *Pools[T]) allocFrame() *Frame {
 
 // releaseFrame returns a frame to the pool once its flight resolves.
 func (p *Pools[T]) releaseFrame(f *Frame) {
-	p.liveFrame--
+	p.liveFrame.Add(-1)
 	f.Pkt = Packet{}
 	p.freeFrame = append(p.freeFrame, f)
 }
 
 // allocFlight takes a flight from the pool.
 func (p *Pools[T]) allocFlight() *flight[T] {
-	p.liveFlight++
+	p.liveFlight.Add(1)
 	if l := len(p.freeFlight); l > 0 {
 		fl := p.freeFlight[l-1]
 		p.freeFlight[l-1] = nil
@@ -276,7 +280,7 @@ func (p *Pools[T]) allocFlight() *flight[T] {
 // released separately by the caller (their lifetimes differ across the
 // resolve paths).
 func (p *Pools[T]) releaseFlight(fl *flight[T]) {
-	p.liveFlight--
+	p.liveFlight.Add(-1)
 	*fl = flight[T]{}
 	p.freeFlight = append(p.freeFlight, fl)
 }

@@ -99,6 +99,12 @@ func FuzzEngine(f *testing.F) {
 	f.Add([]byte{0x13, 0x13, 0x50, 0x51, 0x52, 0x31})
 	f.Add([]byte{0x8f, 0x0f, 0x60, 0x50, 0x20, 0x50, 0x42, 0x75, 0x50})
 	f.Add([]byte{0xff, 0x1f, 0x2f, 0x3f, 0x4f, 0x5f, 0x6f, 0x7f})
+	// Cross-shard packet-ID collisions: distinct frames whose packet IDs
+	// share low counter bits but differ in the high origin bits (the shape
+	// the sharded broker's brokerID<<48 layout produces), interleaved with
+	// replays, ACKs and timers.
+	f.Add([]byte{0x02, 0x10, 0x14, 0x18, 0x1c, 0x20, 0x30, 0x50})
+	f.Add([]byte{0x07, 0x10, 0x10, 0x14, 0x20, 0x1c, 0x18, 0x31, 0x52, 0x65, 0x50})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
@@ -139,7 +145,13 @@ func FuzzEngine(f *testing.F) {
 					FrameID: 1<<40 | inSeq, // disjoint from NextFrameID space
 					From:    0,
 					Pkt: Packet{
-						ID:          1<<32 | inSeq,
+						// High bits vary by arg while the low counter bits
+						// collide (inSeq&3): distinct frames can carry the
+						// same packet ID, and different-origin packet IDs
+						// collide in their low bits — the cross-shard
+						// collision shapes the sharded broker's
+						// brokerID<<48|counter layout produces.
+						ID:          uint64(arg>>2)<<48 | 1<<32 | (inSeq & 3),
 						Topic:       7,
 						Source:      0,
 						PublishedAt: deps.now,

@@ -3,6 +3,8 @@ package broker
 import (
 	"fmt"
 	"net"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -284,6 +286,113 @@ func BenchmarkBrokerFanout(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)*fanoutBatch*float64(k)/b.Elapsed().Seconds(), "deliveries/sec")
+		})
+	}
+}
+
+// BenchmarkBrokerSharded is the scaling curve for the sharded data plane:
+// one broker with n engine shards fanning out to 8 subscriber clients while
+// 4 publisher clients publish concurrently. The cpus=n sub-runs set
+// GOMAXPROCS themselves (instead of -cpu) so the result names are stable
+// for benchjson baselining — go's -cpu suffix would be stripped when
+// merging runs.
+func BenchmarkBrokerSharded(b *testing.B) {
+	const (
+		k          = 8
+		publishers = 4
+		perPub     = fanoutBatch / publishers
+	)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cpus=%d", n), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(n)
+			defer runtime.GOMAXPROCS(prev)
+
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := benchConfig(0, ln.Addr().String(), nil)
+			cfg.Shards = n
+			bk, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := bk.StartListener(ln); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = bk.Close() })
+
+			subs := make([]*Client, k)
+			for i := range subs {
+				c, err := Dial(ln.Addr().String(), fmt.Sprintf("bench-sub-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Subscribe(2, 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
+				subs[i] = c
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for len(bk.localClients(2)) != k {
+				if time.Now().After(deadline) {
+					b.Fatalf("only %d/%d subscriptions registered", len(bk.localClients(2)), k)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			pubs := make([]*Client, publishers)
+			for i := range pubs {
+				c, err := Dial(ln.Addr().String(), fmt.Sprintf("bench-pub-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				pubs[i] = c
+			}
+			payload := make([]byte, benchPayload)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				errs := make(chan error, publishers)
+				var wg sync.WaitGroup
+				for _, c := range pubs {
+					c := c
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for m := 0; m < perPub; m++ {
+							if err := c.Publish(2, 10*time.Second, payload); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+				stall := time.NewTimer(30 * time.Second)
+				for _, c := range subs {
+					for got := 0; got < publishers*perPub; {
+						select {
+						case _, ok := <-c.Receive():
+							if !ok {
+								b.Fatalf("subscriber closed: %v", c.Err())
+							}
+							got++
+						case <-stall.C:
+							b.Fatalf("stalled at %d/%d deliveries", got, publishers*perPub)
+						}
+					}
+				}
+				stall.Stop()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*publishers*perPub*k/b.Elapsed().Seconds(), "deliveries/sec")
 		})
 	}
 }

@@ -27,12 +27,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/algo2"
 	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -82,12 +82,19 @@ type Config struct {
 	SendQueue int
 	// DefaultDeadline applies to publishes that do not carry a deadline.
 	DefaultDeadline time.Duration
+	// Shards is the number of single-threaded engine shards the data plane
+	// is partitioned into; packets are assigned by packet-ID hash, and each
+	// shard owns its own pools, ACK timers, dedup state and delivery flush
+	// queue (see shard.go). Defaults to runtime.GOMAXPROCS(0), capped at 64
+	// (the frame-ID encoding carries the shard index in 6 bits).
+	Shards int
 	// Logger receives diagnostics; nil discards them.
 	Logger *log.Logger
 	// Tracer, when non-nil, receives the engine's per-packet routing
-	// timeline (sends, ACK handoffs, timeouts, failovers, reroutes). Trace
-	// events are recorded under the broker's mutex; the recorder needs no
-	// locking of its own but must not re-enter the broker.
+	// timeline (sends, ACK handoffs, timeouts, failovers, reroutes). With
+	// Shards > 1 events are recorded concurrently from multiple shard
+	// goroutines, so the recorder must be safe for concurrent use; it must
+	// not re-enter the broker.
 	Tracer trace.Recorder
 }
 
@@ -129,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = time.Second
 	}
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > maxShards {
+		c.Shards = maxShards
+	}
 	return c
 }
 
@@ -138,53 +151,77 @@ type Broker struct {
 	cfg Config
 	ln  net.Listener
 
-	mu        sync.Mutex
+	// neighbors is built complete from Config.Neighbors in New and never
+	// mutated afterwards; hot-path lookups read it without locking (each
+	// neighborConn carries its own mutex for attach/estimate state).
 	neighbors map[int]*neighborConn
-	clients   map[*clientConn]struct{}
+
+	// shards is the partitioned data plane: one single-threaded engine per
+	// shard, fed by a bounded mailbox (see shard.go). Immutable after New.
+	shards []*shard
+	// epoch anchors the engine clock: engine time is time.Since(epoch).
+	epoch time.Time
+	// nextPacketID allocates overlay-unique packet IDs across all publisher
+	// connections (the broker ID occupies the bits above the counter).
+	nextPacketID atomic.Uint64
+
+	// routesSnap/subsSnap are the copy-on-write control-plane snapshots the
+	// data plane reads lock-free: rebuilt under b.mu whenever routes or
+	// local subscriptions change, swapped in atomically.
+	routesSnap atomic.Pointer[routeSnapshot]
+	subsSnap   atomic.Pointer[subsSnapshot]
+
+	// mu guards the cold-path control state below: client registry,
+	// subscription and routing tables (the data plane reads them only
+	// through the snapshots above).
+	mu      sync.Mutex
+	clients map[*clientConn]struct{}
 	// localSubs[topic][client] = deadline
 	localSubs map[int32]map[*clientConn]time.Duration
 	// routes[(topic, subscriberBroker)] = distributed routing state
 	routes map[routeKey]*routeState
-	// deliveredSeen de-duplicates local client deliveries per packet
-	// (bounded); failover can legitimately produce duplicate copies.
-	deliveredSeen *dedup
-	// eng is this broker's Algorithm-2 forwarding engine; every entry point
-	// (and every engine timer callback) runs under b.mu. Frame-level dedup
-	// and the in-flight groups live inside it.
-	eng *algo2.Engine[*ackTimer]
-	// epoch anchors the engine clock: engine time is time.Since(epoch).
-	epoch time.Time
-	// pendingDeliver queues local deliveries the engine produced under
-	// b.mu, flushed to clients after unlock.
-	pendingDeliver []queuedDeliver
-	// destsBuf/pathBuf are int-conversion scratch for engine calls (the
-	// engine copies both before returning).
-	destsBuf []int
-	pathBuf  []int
-
-	// pools is the engine's object pool, kept for leak accounting
-	// (Pools.Live must return to zero once all traffic resolves).
-	pools *algo2.Pools[*ackTimer]
-
-	nextFrameID  uint64
-	nextPacketID uint64
-	closed       bool
+	closed bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
+	// shardWg tracks the shard goroutines specifically: Close waits for
+	// them (mailboxes drained, engines shut down, pools final) before it
+	// starts tearing down writer pipelines and read loops.
+	shardWg sync.WaitGroup
 	// goCount tracks live goTracked goroutines; Close must return it to
 	// zero, and the chaos soak asserts that it does.
 	goCount atomic.Int64
 
-	// stats
-	published uint64
-	delivered uint64
-	forwarded uint64
-	dropped   uint64
-	// Concurrent counters incremented outside b.mu by writers/dial loops.
+	// stats — all atomic, so Stats never contends with the data path.
+	published  atomic.Uint64
+	delivered  atomic.Uint64
+	forwarded  atomic.Uint64
+	dropped    atomic.Uint64
 	queueDrops atomic.Uint64 // messages dropped on a full send queue
 	redials    atomic.Uint64 // failed neighbor dial attempts
 	reconnects atomic.Uint64 // neighbor re-attaches after the first
+}
+
+// routeSnapshot is the data plane's immutable view of the Algorithm-1
+// routing state: Theorem-1 sending lists per (topic, subscriber broker) and
+// the sorted destination set per topic for publishes. Rebuilt by
+// recomputeAndAdvertise; the contained slices are never mutated after the
+// snapshot is published.
+type routeSnapshot struct {
+	lists        map[routeKey][]int
+	destsByTopic map[int32][]int
+}
+
+// subsSnapshot is the data plane's immutable view of the local subscriber
+// connections per topic.
+type subsSnapshot struct {
+	byTopic map[int32][]*clientConn
+}
+
+// localClients returns the local subscriber connections for a topic from
+// the current snapshot (lock-free).
+func (b *Broker) localClients(topic int32) []*clientConn {
+	return b.subsSnap.Load().byTopic[topic]
 }
 
 type routeKey struct {
@@ -224,36 +261,71 @@ func New(cfg Config) (*Broker, error) {
 		}
 	}
 	b := &Broker{
-		cfg:           cfg,
-		neighbors:     make(map[int]*neighborConn),
-		clients:       make(map[*clientConn]struct{}),
-		localSubs:     make(map[int32]map[*clientConn]time.Duration),
-		routes:        make(map[routeKey]*routeState),
-		deliveredSeen: newDedup(1 << 16),
-		epoch:         time.Now(),
-		done:          make(chan struct{}),
+		cfg:       cfg,
+		neighbors: make(map[int]*neighborConn, len(cfg.Neighbors)),
+		clients:   make(map[*clientConn]struct{}),
+		localSubs: make(map[int32]map[*clientConn]time.Duration),
+		routes:    make(map[routeKey]*routeState),
+		epoch:     time.Now(),
+		done:      make(chan struct{}),
 	}
+	// The neighbor set is fixed by configuration, so the map can be built
+	// complete here and read lock-free everywhere after.
+	for id := range cfg.Neighbors {
+		b.neighbors[id] = newNeighborConn(id)
+	}
+	b.routesSnap.Store(&routeSnapshot{})
+	b.subsSnap.Store(&subsSnapshot{})
 	// A restarted broker must not reuse frame or packet IDs its previous
 	// incarnation put on the wire recently: peers retain both in dedup
 	// state for up to 2×MaxLifetime, and a collision would silently swallow
 	// fresh traffic. Seeding the counters from the wall clock (masked to
-	// the 48-bit counter space) keeps them monotonic across restarts —
+	// each counter's space) keeps them monotonic across restarts —
 	// nanoseconds advance far faster than frames are sent.
-	incarnation := uint64(time.Now().UnixNano()) & (1<<48 - 1)
-	b.nextFrameID = incarnation
-	b.nextPacketID = incarnation
-	// nodesHint sizes the engine's path bitsets; neighbors is a lower bound
-	// on the overlay size and the bitsets grow on demand past it.
-	b.pools = algo2.NewPools[*ackTimer](cfg.ID + len(cfg.Neighbors) + 1)
-	b.eng = algo2.NewEngine[*ackTimer](algo2.Config{
-		NodeID:      cfg.ID,
-		M:           cfg.M,
-		AckGuard:    cfg.AckGuard,
-		MaxLifetime: cfg.MaxLifetime,
-		Persistent:  cfg.Persistent,
-		Tracer:      cfg.Tracer,
-	}, liveShell{b: b}, b.pools)
+	incarnation := uint64(time.Now().UnixNano())
+	b.nextPacketID.Store(incarnation & (1<<48 - 1))
+	b.shards = make([]*shard, cfg.Shards)
+	for i := range b.shards {
+		b.shards[i] = newShard(b, i, incarnation)
+	}
+	// Shard goroutines start with the broker itself (not StartListener):
+	// tests and tools may attach pipe connections and pump frames before a
+	// listener exists, and those frames need running shards.
+	for _, s := range b.shards {
+		s := s
+		b.shardWg.Add(1)
+		b.goTracked(func() {
+			defer b.shardWg.Done()
+			s.run()
+		})
+	}
 	return b, nil
+}
+
+// barrier broadcasts fn to every shard and waits until each has run it on
+// its own goroutine — the cold-path rendezvous for control operations that
+// need a coherent per-shard view. It reports false when the broker is
+// shutting down (fn may then have run on only some shards). Must not be
+// called from a shard goroutine.
+func (b *Broker) barrier(fn func(*shard)) bool {
+	acks := make(chan struct{}, len(b.shards))
+	for _, s := range b.shards {
+		it := getItem()
+		it.kind = itemBarrier
+		it.bfn = fn
+		it.acks = acks
+		// A failed enqueue (shutdown) still acks via discard, so the count
+		// below is exact either way.
+		s.enqueue(it)
+	}
+	for range b.shards {
+		select {
+		case <-acks:
+		case <-b.done:
+			return false
+		}
+	}
+	return true
 }
 
 // dedup is a bounded recently-seen set of uint64 keys: once full, the
@@ -330,7 +402,12 @@ func (b *Broker) StartListener(ln net.Listener) error {
 	return nil
 }
 
-// Close shuts the broker down and waits for its goroutines.
+// Close shuts the broker down and waits for its goroutines. Ordering
+// matters: the shard goroutines are waited for FIRST — each drains its
+// mailbox (discarding queued work) and shuts its engine down, releasing all
+// pooled state — and only then are writer pipelines and read loops torn
+// down. That order guarantees no in-flight shard work can allocate from (or
+// return to) a pool after a post-Close Pools.Live() read observed it empty.
 func (b *Broker) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -339,21 +416,20 @@ func (b *Broker) Close() error {
 	}
 	b.closed = true
 	close(b.done)
-	conns := make([]*neighborConn, 0, len(b.neighbors))
-	for _, nc := range b.neighbors {
-		conns = append(conns, nc)
-	}
 	clients := make([]*clientConn, 0, len(b.clients))
 	for c := range b.clients {
 		clients = append(clients, c)
 	}
-	b.eng.Shutdown() // cancels every in-flight ACK timer (under b.mu)
 	b.mu.Unlock()
+
+	// Shards observe b.done, drain their mailboxes and run Engine.Shutdown
+	// (cancelling every in-flight ACK timer) on their own goroutines.
+	b.shardWg.Wait()
 
 	if b.ln != nil {
 		_ = b.ln.Close()
 	}
-	for _, nc := range conns {
+	for _, nc := range b.neighbors {
 		nc.close()
 	}
 	for _, c := range clients {
@@ -376,15 +452,14 @@ type Stats struct {
 	Reconnects uint64 // neighbor links re-attached after their first attach
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters. All counters are atomic, so this
+// never contends with the data path.
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	return Stats{
-		Published:  b.published,
-		Delivered:  b.delivered,
-		Forwarded:  b.forwarded,
-		Dropped:    b.dropped,
+		Published:  b.published.Load(),
+		Delivered:  b.delivered.Load(),
+		Forwarded:  b.forwarded.Load(),
+		Dropped:    b.dropped.Load(),
 		QueueDrops: b.queueDrops.Load(),
 		Redials:    b.redials.Load(),
 		Reconnects: b.reconnects.Load(),
@@ -395,31 +470,55 @@ func (b *Broker) Stats() Stats {
 // must be zero — the chaos soak and shutdown tests assert this.
 func (b *Broker) Goroutines() int { return int(b.goCount.Load()) }
 
-// PoolsLive reports the engine's outstanding pooled objects (works,
-// flights, frames). Once every packet resolves — and always after Close —
-// all three must be zero, or the engine leaked.
+// PoolsLive reports the outstanding pooled engine objects (works, flights,
+// frames) summed across all shards. Once every packet resolves — and always
+// after Close — all three must be zero, or an engine leaked. The per-shard
+// counters are atomic, so no lock is needed.
 func (b *Broker) PoolsLive() (works, flights, frames int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.pools.Live()
+	for _, s := range b.shards {
+		w, f, fr := s.pools.Live()
+		works += w
+		flights += f
+		frames += fr
+	}
+	return works, flights, frames
 }
 
 // statsReply snapshots the broker's operational state for a monitoring
 // client (cmd/dcrd-mon).
 func (b *Broker) statsReply(token uint64) *wire.StatsReply {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	reply := &wire.StatsReply{
 		Token:      token,
 		BrokerID:   int32(b.cfg.ID),
-		Published:  b.published,
-		Delivered:  b.delivered,
-		Forwarded:  b.forwarded,
-		Dropped:    b.dropped,
+		Published:  b.published.Load(),
+		Delivered:  b.delivered.Load(),
+		Forwarded:  b.forwarded.Load(),
+		Dropped:    b.dropped.Load(),
 		QueueDrops: b.queueDrops.Load(),
 		Redials:    b.redials.Load(),
 		Reconnects: b.reconnects.Load(),
 	}
+
+	// Per-shard stats: a barrier run gives an on-shard view (mailbox depth
+	// plus the engine's in-flight group count); if the broker is shutting
+	// down mid-barrier, fall back to the lock-free external view.
+	shardStats := make([]wire.ShardStat, len(b.shards))
+	var smu sync.Mutex
+	ok := b.barrier(func(s *shard) {
+		st := s.stats(true)
+		smu.Lock()
+		shardStats[s.idx] = st
+		smu.Unlock()
+	})
+	if !ok {
+		for i, s := range b.shards {
+			shardStats[i] = s.stats(false)
+		}
+	}
+	reply.Shards = shardStats
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	ids := make([]int, 0, len(b.neighbors))
 	for id := range b.neighbors {
 		ids = append(ids, id)

@@ -422,16 +422,11 @@ func (b *Broker) handleNeighborConn(id int, conn net.Conn) {
 	b.readNeighbor(nc, conn)
 }
 
-// neighbor returns (creating if needed) the state for neighbor id.
+// neighbor returns the state for a configured neighbor id. The map is built
+// complete in New and immutable afterwards, so the lookup is lock-free; all
+// callers pass ids validated against Config.Neighbors.
 func (b *Broker) neighbor(id int) *neighborConn {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	nc, ok := b.neighbors[id]
-	if !ok {
-		nc = newNeighborConn(id)
-		b.neighbors[id] = nc
-	}
-	return nc
+	return b.neighbors[id]
 }
 
 // dialLoop owns the outbound connection to a higher-ID neighbor. Failed
@@ -549,6 +544,7 @@ func (b *Broker) handleClientConn(name string, conn net.Conn) {
 				}
 			}
 		}
+		b.publishSubsSnapshotLocked()
 		b.mu.Unlock()
 		b.recomputeLocalRoutes()
 		c.w.shutdown()
@@ -588,13 +584,7 @@ func (b *Broker) pingLoop() {
 			return
 		case <-ticker.C:
 		}
-		b.mu.Lock()
-		conns := make([]*neighborConn, 0, len(b.neighbors))
 		for _, nc := range b.neighbors {
-			conns = append(conns, nc)
-		}
-		b.mu.Unlock()
-		for _, nc := range conns {
 			token++
 			nc.recordPing(token, time.Now())
 			_ = nc.send(&wire.Ping{Token: token})
@@ -631,9 +621,7 @@ func sleepUnlessDone(done <-chan struct{}, d time.Duration) bool {
 
 // linkStats adapts neighbor estimates for core.BuildTable-style math.
 func (b *Broker) linkStats(id int) core.DR {
-	b.mu.Lock()
 	nc, ok := b.neighbors[id]
-	b.mu.Unlock()
 	if !ok || !nc.connected() {
 		return core.Unreachable()
 	}

@@ -260,8 +260,9 @@ func waitListsConverge(t *testing.T, brokers []*Broker, topic int32, want map[in
 
 // runLiveScenario pushes one packet through a proxied net.Pipe overlay
 // under the same schedule and returns per-node decisions plus the
-// subscriber's delivered count.
-func runLiveScenario(t *testing.T, rules []diffDropRule, wantDelivered bool, minEvents map[int][]decision) (map[int][]decision, int) {
+// subscriber's delivered count. shards picks each broker's engine-shard
+// count — the decision sequences must not depend on it.
+func runLiveScenario(t *testing.T, rules []diffDropRule, wantDelivered bool, minEvents map[int][]decision, shards int) (map[int][]decision, int) {
 	t.Helper()
 	sched := newDiffSchedule(rules)
 
@@ -299,6 +300,7 @@ func runLiveScenario(t *testing.T, rules []diffDropRule, wantDelivered bool, min
 			AdvertInterval:  10 * time.Minute,
 			DialRetry:       50 * time.Millisecond,
 			DefaultDeadline: diffDeadline,
+			Shards:          shards,
 			Tracer:          tracers[i],
 		})
 		if err != nil {
@@ -409,6 +411,47 @@ func runLiveScenario(t *testing.T, rules []diffDropRule, wantDelivered bool, min
 	return merged, delivered
 }
 
+// diffScenarios is the shared scenario matrix: the clean path,
+// m-retransmission failover at the origin, list exhaustion with upstream
+// reroute, total origin exhaustion (drop), and a lost ACK (retransmission
+// absorbed by frame dedup). TestDifferentialSimVsLive runs it against a
+// 1-shard broker, TestShardedDifferential (sharded_test.go) against 4
+// shards.
+var diffScenarios = []struct {
+	name      string
+	rules     []diffDropRule
+	delivered bool
+}{
+	{
+		name:      "clean_path",
+		rules:     nil,
+		delivered: true,
+	},
+	{
+		name:      "origin_failover",
+		rules:     []diffDropRule{{from: 0, to: 1, kind: "data"}},
+		delivered: true,
+	},
+	{
+		name:      "exhaustion_upstream_reroute",
+		rules:     []diffDropRule{{from: 1, to: 3, kind: "data"}},
+		delivered: true,
+	},
+	{
+		name: "origin_exhausted_drop",
+		rules: []diffDropRule{
+			{from: 0, to: 1, kind: "data"},
+			{from: 0, to: 2, kind: "data"},
+		},
+		delivered: false,
+	},
+	{
+		name:      "lost_ack_retransmit_dedup",
+		rules:     []diffDropRule{{from: 1, to: 0, kind: "ack", nth: map[int]bool{1: true}}},
+		delivered: true,
+	},
+}
+
 // TestDifferentialSimVsLive is the tentpole's fidelity harness: identical
 // scripted loss through both shells must yield identical per-node decision
 // sequences and identical delivery outcomes. Scenarios cover the clean
@@ -419,47 +462,13 @@ func TestDifferentialSimVsLive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live overlay convergence is wall-clock bound")
 	}
-	scenarios := []struct {
-		name      string
-		rules     []diffDropRule
-		delivered bool
-	}{
-		{
-			name:      "clean_path",
-			rules:     nil,
-			delivered: true,
-		},
-		{
-			name:      "origin_failover",
-			rules:     []diffDropRule{{from: 0, to: 1, kind: "data"}},
-			delivered: true,
-		},
-		{
-			name:      "exhaustion_upstream_reroute",
-			rules:     []diffDropRule{{from: 1, to: 3, kind: "data"}},
-			delivered: true,
-		},
-		{
-			name: "origin_exhausted_drop",
-			rules: []diffDropRule{
-				{from: 0, to: 1, kind: "data"},
-				{from: 0, to: 2, kind: "data"},
-			},
-			delivered: false,
-		},
-		{
-			name:      "lost_ack_retransmit_dedup",
-			rules:     []diffDropRule{{from: 1, to: 0, kind: "ack", nth: map[int]bool{1: true}}},
-			delivered: true,
-		},
-	}
-	for _, sc := range scenarios {
+	for _, sc := range diffScenarios {
 		t.Run(sc.name, func(t *testing.T) {
 			simDecisions, simDelivered := runSimScenario(t, sc.rules)
 			if (simDelivered > 0) != sc.delivered {
 				t.Fatalf("sim delivered %d, scenario expects delivered=%v", simDelivered, sc.delivered)
 			}
-			liveDecisions, liveDelivered := runLiveScenario(t, sc.rules, sc.delivered, simDecisions)
+			liveDecisions, liveDelivered := runLiveScenario(t, sc.rules, sc.delivered, simDecisions, 1)
 			if (liveDelivered > 0) != (simDelivered > 0) {
 				t.Errorf("delivery sets differ: sim=%d live=%d", simDelivered, liveDelivered)
 			}

@@ -1,201 +1,33 @@
 package broker
 
 import (
-	"sort"
 	"time"
 
-	"repro/internal/algo2"
 	"repro/internal/wire"
 )
 
-// The live broker is a thin shell over the shared Algorithm-2 engine
-// (internal/algo2): liveShell adapts the engine's Deps onto wall-clock
-// timers, the per-connection writer pipelines, and the distributed
-// Algorithm-1 route state, while the engine owns all per-copy routing state
-// (pending destinations, path bitsets, failed-neighbor sets, in-flight
-// retransmission groups, frame dedup) in pooled, allocation-free form. All
-// engine entry points run under b.mu — the broker's mutex is the engine's
-// required external serialization.
+// The live broker is a sharded shell over the shared Algorithm-2 engine
+// (internal/algo2): every hot entry point below routes its input to the
+// owning shard's mailbox by packet-ID hash (shard.go), and the per-shard
+// goroutine applies it to that shard's single-threaded engine. No entry
+// point here takes b.mu — the data plane reads only immutable broker state,
+// copy-on-write snapshots and atomics.
 
-// ackTimer is the live timer handle behind the engine's Deps.AfterFunc.
-// Engine flights are pooled, so cancellation must be reliable:
-// time.Timer.Stop alone can lose the race against a callback already
-// started, so fire re-checks the stopped flag under b.mu, which CancelTimer
-// sets under the same lock (engine calls always hold b.mu).
-type ackTimer struct {
-	b       *Broker
-	t       *time.Timer
-	stopped bool
-	fn      func(any)
-	arg     any
-}
-
-// fire enters the engine under b.mu unless the timer was cancelled or the
-// broker closed, then flushes any deliveries the engine queued.
-func (at *ackTimer) fire() {
-	b := at.b
-	b.mu.Lock()
-	if b.closed || at.stopped {
-		b.mu.Unlock()
-		return
-	}
-	at.fn(at.arg)
-	flush := b.takePendingLocked()
-	b.mu.Unlock()
-	b.flushDeliveries(flush)
-}
-
-// queuedDeliver is one local delivery the engine produced while b.mu was
-// held; it is sent to the clients after the lock is released.
+// queuedDeliver is one local delivery the engine produced during a shard's
+// engine call; it is sent to the clients when the shard flushes, after the
+// engine returns.
 type queuedDeliver struct {
 	clients []*clientConn
 	msg     *wire.Deliver
 }
 
-// liveShell implements algo2.Deps over the broker. Every method is invoked
-// by the engine with b.mu held.
-type liveShell struct{ b *Broker }
-
-var _ algo2.Deps[*ackTimer] = liveShell{}
-
-// Now is the engine clock: time since the broker's construction epoch.
-// Durations relative to the epoch subtract back to plain wall-clock
-// differences, so cross-broker lifetime checks behave exactly like the
-// previous time.Since-based code.
-func (s liveShell) Now() time.Duration { return time.Since(s.b.epoch) }
-
-// AfterFunc arms a wall-clock timer whose callback re-enters the engine
-// under b.mu.
-func (s liveShell) AfterFunc(d time.Duration, fn func(any), arg any) *ackTimer {
-	at := &ackTimer{b: s.b, fn: fn, arg: arg}
-	at.t = time.AfterFunc(d, at.fire)
-	return at
-}
-
-// CancelTimer reliably cancels: stopped is written under b.mu, and fire
-// checks it under b.mu before touching the (pooled) argument.
-func (s liveShell) CancelTimer(t *ackTimer) {
-	t.stopped = true
-	t.t.Stop()
-}
-
-// NextFrameID allocates an overlay-unique frame identifier — receivers
-// de-duplicate retransmissions by frame ID, so the broker ID occupies the
-// high bits above a per-broker counter.
-func (s liveShell) NextFrameID() uint64 {
-	b := s.b
-	b.nextFrameID++
-	return uint64(b.cfg.ID)<<48 | (b.nextFrameID & (1<<48 - 1))
-}
-
-// AckWait scales the ACK timeout to the link's measured round trip
-// (2*alpha; the engine adds Config.AckGuard on top). Unknown neighbors get
-// a bare-guard timeout and fail over via the normal timer path.
-func (s liveShell) AckWait(k int) (time.Duration, bool) {
-	if nc, ok := s.b.neighbors[k]; ok {
-		alpha, _ := nc.estimate()
-		return 2 * alpha, true
-	}
-	return 0, true
-}
-
-// Send encodes one engine frame as a wire.Data and hands it to the
-// neighbor's writer pipeline. The pooled frame is only valid until return
-// while the pipeline retains its message, so the wire message is built
-// fresh per attempt; the payload []byte is stable (copied once on receipt)
-// and shared.
-func (s liveShell) Send(f *algo2.Frame) {
-	b := s.b
-	nc, ok := b.neighbors[f.To]
-	if !ok {
-		return // no such neighbor; the ACK timer will fail the copy over
-	}
-	b.forwarded++
-	msg := &wire.Data{
-		FrameID:     f.ID,
-		PacketID:    f.Pkt.ID,
-		Topic:       f.Pkt.Topic,
-		Source:      f.Pkt.Source,
-		PublishedAt: b.epoch.Add(f.Pkt.PublishedAt),
-		Deadline:    f.Pkt.Deadline,
-		Dests:       make([]int32, len(f.Dests)),
-		Path:        make([]int32, len(f.Path)),
-		Payload:     f.Pkt.Payload.([]byte),
-	}
-	for i, d := range f.Dests {
-		msg.Dests[i] = int32(d)
-	}
-	for i, p := range f.Path {
-		msg.Path[i] = int32(p)
-	}
-	if err := nc.send(msg); err != nil {
-		b.logf("send frame %d to %d: %v", f.ID, f.To, err)
-	}
-}
-
-// SendingList exposes the distributed Algorithm-1 state.
-func (s liveShell) SendingList(topic int32, dest int) []int {
-	return s.b.sendingListLocked(topic, int32(dest))
-}
-
-// LinkUp skips neighbors without a live connection.
-func (s liveShell) LinkUp(k int) bool {
-	nc, ok := s.b.neighbors[k]
-	return ok && nc.connected()
-}
-
-// Deliver queues a local delivery (sent after b.mu is released — client
-// sends must not run under the broker lock). Packet-level dedup lives
-// here: failover can legitimately produce duplicate copies of a packet on
-// distinct frames.
-func (s liveShell) Deliver(pkt *algo2.Packet, _ int) {
-	b := s.b
-	if b.deliveredSeen.Seen(pkt.ID) {
-		return
-	}
-	b.pendingDeliver = append(b.pendingDeliver, queuedDeliver{
-		clients: b.localDeliveriesLocked(pkt.Topic),
-		msg: &wire.Deliver{
-			Topic:       pkt.Topic,
-			PacketID:    pkt.ID,
-			Source:      pkt.Source,
-			PublishedAt: b.epoch.Add(pkt.PublishedAt),
-			Payload:     pkt.Payload.([]byte),
-		},
-	})
-}
-
-// Drop counts abandoned destinations.
-func (s liveShell) Drop(pkt *algo2.Packet, dests []int, reason algo2.DropReason) {
-	b := s.b
-	b.dropped += uint64(len(dests))
-	for _, dest := range dests {
-		if reason == algo2.DropExhausted {
-			b.logf("packet %d: no route to dest %d, dropping at origin", pkt.ID, dest)
-		} else {
-			b.logf("packet %d: lifetime exceeded for dest %d", pkt.ID, dest)
-		}
-	}
-}
-
-// AckTimedOut decays the neighbor's adaptive gamma.
-func (s liveShell) AckTimedOut(k int) {
-	if nc := s.b.neighbors[k]; nc != nil {
-		nc.ackTimedOut()
-	}
-}
-
-// NextRetryAt paces §III persistency retries: a packet whose sending list
-// is unreachable is re-processed every RetryInterval until a route appears
-// or its lifetime expires.
-func (s liveShell) NextRetryAt(now time.Duration) time.Duration {
-	return now + s.b.cfg.RetryInterval
-}
-
 // publishLocal accepts a publish from a connected client: deliver to local
 // subscribers immediately, then hand one copy per known subscriber broker
-// to the engine.
+// to the owning shard's engine.
 func (b *Broker) publishLocal(m *wire.Publish) {
+	if b.stopping() {
+		return
+	}
 	deadline := m.Deadline
 	if deadline <= 0 {
 		deadline = b.cfg.DefaultDeadline
@@ -205,40 +37,24 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 	// call: take one stable copy of the payload.
 	payload := append([]byte(nil), m.Payload...)
 	now := time.Now()
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	b.published++
-	b.nextPacketID++
+	b.published.Add(1)
 	// Packet IDs must be overlay-unique (delivery dedup keys on them), so
 	// the broker ID occupies the high bits.
-	pid := uint64(b.cfg.ID)<<48 | (b.nextPacketID & (1<<48 - 1))
-	dests := b.destsBuf[:0]
-	for key, rs := range b.routes {
-		if key.topic != m.Topic || key.sub == int32(b.cfg.ID) {
-			continue
-		}
-		if rs.own.Reachable() || len(rs.params) > 0 {
-			dests = append(dests, int(key.sub))
-		}
-	}
-	// Map iteration order is random; sort so traces (and the differential
-	// harness) see deterministic destination sets.
-	sort.Ints(dests)
-	b.destsBuf = dests
-	deliverTo := b.localDeliveriesLocked(m.Topic)
-	b.eng.Publish(algo2.Packet{
-		ID:          pid,
-		Topic:       m.Topic,
-		Source:      int32(b.cfg.ID),
-		PublishedAt: now.Sub(b.epoch),
-		Deadline:    deadline,
-		Payload:     payload,
-	}, dests)
-	flush := b.takePendingLocked()
-	b.mu.Unlock()
+	pid := uint64(b.cfg.ID)<<48 | (b.nextPacketID.Add(1) & (1<<48 - 1))
+	deliverTo := b.localClients(m.Topic)
+
+	it := getItem()
+	it.kind = itemPublish
+	it.pktID = pid
+	it.topic = m.Topic
+	it.source = int32(b.cfg.ID)
+	it.pubAt = now
+	it.deadline = deadline
+	it.payload = payload
+	// The snapshot's destination set is immutable but the item's slices are
+	// recycled scratch, so copy rather than alias it.
+	it.dests = append(it.dests[:0], b.routesSnap.Load().destsByTopic[m.Topic]...)
+	b.shardOf(pid).enqueue(it)
 
 	b.deliver(deliverTo, &wire.Deliver{
 		Topic:       m.Topic,
@@ -247,117 +63,79 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 		PublishedAt: now,
 		Payload:     payload,
 	})
-	b.flushDeliveries(flush)
 }
 
-// handleData processes a data frame from a neighbor (Algorithm 2, receive
-// side). The hop-by-hop ACK was already sent by the caller — for every
-// received frame, duplicates included.
+// handleData routes a data frame from a neighbor (Algorithm 2, receive
+// side) to the packet's shard. The hop-by-hop ACK was already sent by the
+// caller — for every received frame, duplicates included.
 func (b *Broker) handleData(from int, m *wire.Data) {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.stopping() {
 		return
-	}
-	if b.eng.SeenFrame(m.FrameID) {
-		b.mu.Unlock()
-		return // retransmission; skip the payload copy entirely
 	}
 	// m is recycled by the read loop's pooled Reader after return; the
 	// engine's copy (held across ACK timers) and any queued deliveries need
-	// a stable payload, so copy it once here. Dests/Path go through per-
-	// broker scratch buffers — the engine copies both before returning.
-	payload := append([]byte(nil), m.Payload...)
-	dests := b.destsBuf[:0]
+	// a stable payload, so copy it once here. Dests/Path are copied into the
+	// pooled item's own scratch slices — the engine copies both again before
+	// its HandleData returns, so the item can be recycled immediately after.
+	it := getItem()
+	it.kind = itemData
+	it.from = from
+	it.frameID = m.FrameID
+	it.pktID = m.PacketID
+	it.topic = m.Topic
+	it.source = m.Source
+	it.pubAt = m.PublishedAt
+	it.deadline = m.Deadline
+	it.payload = append([]byte(nil), m.Payload...)
 	for _, d := range m.Dests {
-		dests = append(dests, int(d))
+		it.dests = append(it.dests, int(d))
 	}
-	b.destsBuf = dests
-	path := b.pathBuf[:0]
 	for _, p := range m.Path {
-		path = append(path, int(p))
+		it.path = append(it.path, int(p))
 	}
-	b.pathBuf = path
-	b.eng.HandleData(algo2.Inbound{
-		FrameID: m.FrameID,
-		From:    from,
-		Pkt: algo2.Packet{
-			ID:          m.PacketID,
-			Topic:       m.Topic,
-			Source:      m.Source,
-			PublishedAt: m.PublishedAt.Sub(b.epoch),
-			Deadline:    m.Deadline,
-			Payload:     payload,
-		},
-		Dests: dests,
-		Path:  path,
-	})
-	flush := b.takePendingLocked()
-	b.mu.Unlock()
-	b.flushDeliveries(flush)
+	b.shardOf(m.PacketID).enqueue(it)
 }
 
-// handleAck resolves an in-flight group: the neighbor took responsibility,
-// so this broker forgets the copy (aggressive deletion, §III) and credits
-// the neighbor's gamma.
+// handleAck routes an in-flight group's resolution to the shard that sent
+// the frame: the neighbor took responsibility, so that shard forgets the
+// copy (aggressive deletion, §III) and credits the neighbor's gamma.
 func (b *Broker) handleAck(frameID uint64) {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	to, ok := b.eng.HandleAck(frameID)
-	var nc *neighborConn
-	if ok {
-		nc = b.neighbors[to]
-	}
-	b.mu.Unlock()
-	if nc != nil {
-		nc.ackSucceeded()
-	}
+	it := getItem()
+	it.kind = itemAck
+	it.frameID = frameID
+	b.ackShard(frameID).enqueue(it)
 }
 
-// takePendingLocked detaches the engine-queued deliveries for flushing
-// outside b.mu.
-func (b *Broker) takePendingLocked() []queuedDeliver {
-	if len(b.pendingDeliver) == 0 {
-		return nil
+// shardOf maps a packet ID to its owning shard. All state for one packet —
+// frame dedup, in-flight groups, delivery dedup — must live in exactly one
+// shard, and every retransmission or failover copy of a packet carries the
+// same packet ID, so hashing it gives stable affinity.
+func (b *Broker) shardOf(pid uint64) *shard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
 	}
-	q := b.pendingDeliver
-	b.pendingDeliver = nil
-	return q
+	// Fibonacci multiplicative hash: packet IDs are counter-in-low-bits, so
+	// mix before reducing or adjacent packets would all land in order.
+	h := pid * 0x9e3779b97f4a7c15
+	return b.shards[(h>>33)%uint64(len(b.shards))]
 }
 
-// flushDeliveries sends detached deliveries to their clients.
-func (b *Broker) flushDeliveries(q []queuedDeliver) {
-	for _, d := range q {
-		b.deliver(d.clients, d.msg)
-	}
+// ackShard routes a returning hop-by-hop ACK by the shard index the frame
+// ID carries (bits 42–47, written by shardShell.NextFrameID). ACKs only
+// ever return for frames this broker sent, so the bits are always ours; the
+// modulo guards against a corrupted or foreign frame ID.
+func (b *Broker) ackShard(frameID uint64) *shard {
+	return b.shards[int(frameID>>42&(maxShards-1))%len(b.shards)]
 }
 
-// localDeliveriesLocked snapshots the local subscriber connections for a
-// topic.
-func (b *Broker) localDeliveriesLocked(topic int32) []*clientConn {
-	subs := b.localSubs[topic]
-	if len(subs) == 0 {
-		return nil
-	}
-	out := make([]*clientConn, 0, len(subs))
-	for c := range subs {
-		out = append(out, c)
-	}
-	return out
-}
-
-// deliver pushes a message to local subscriber clients (outside b.mu).
+// deliver pushes a message to local subscriber clients. Sends are bounded
+// enqueues into per-connection writer pipelines, safe from any goroutine.
 func (b *Broker) deliver(clients []*clientConn, msg *wire.Deliver) {
 	for _, c := range clients {
 		if err := c.send(msg); err != nil {
 			b.logf("deliver to %q: %v", c.name, err)
 			continue
 		}
-		b.mu.Lock()
-		b.delivered++
-		b.mu.Unlock()
+		b.delivered.Add(1)
 	}
 }

@@ -27,6 +27,7 @@ func (b *Broker) subscribeLocal(c *clientConn, m *wire.Subscribe) {
 		b.localSubs[m.Topic] = subs
 	}
 	subs[c] = deadline
+	b.publishSubsSnapshotLocked()
 	b.mu.Unlock()
 	b.logf("client %q subscribed to topic %d (deadline %v)", c.name, m.Topic, deadline)
 	b.recomputeAndAdvertise(false)
@@ -43,6 +44,7 @@ func (b *Broker) unsubscribeLocal(c *clientConn, m *wire.Unsubscribe) {
 			delete(b.localSubs, m.Topic)
 		}
 	}
+	b.publishSubsSnapshotLocked()
 	b.mu.Unlock()
 	b.logf("client %q unsubscribed from topic %d", c.name, m.Topic)
 	b.recomputeAndAdvertise(true)
@@ -121,18 +123,59 @@ func (b *Broker) recomputeAndAdvertise(force bool) {
 			}})
 		}
 	}
-	conns := make([]*neighborConn, 0, len(b.neighbors))
-	for _, nc := range b.neighbors {
-		conns = append(conns, nc)
-	}
+	b.publishRouteSnapshotLocked()
 	b.mu.Unlock()
 
 	for _, pa := range adverts {
-		for _, nc := range conns {
+		for _, nc := range b.neighbors {
 			adv := pa.adv
 			_ = nc.send(&adv)
 		}
 	}
+}
+
+// publishRouteSnapshotLocked rebuilds the data plane's copy-on-write view of
+// the routing state and swaps it in atomically. recomputeRouteLocked
+// allocates a fresh list slice on every recompute, so the slices referenced
+// by a published snapshot are never mutated afterwards. Caller holds b.mu.
+func (b *Broker) publishRouteSnapshotLocked() {
+	snap := &routeSnapshot{
+		lists:        make(map[routeKey][]int, len(b.routes)),
+		destsByTopic: make(map[int32][]int),
+	}
+	self := int32(b.cfg.ID)
+	for key, rs := range b.routes {
+		if len(rs.list) > 0 {
+			snap.lists[key] = rs.list
+		}
+		// A topic's destination set for publishes: every subscriber broker
+		// other than ourselves that is reachable or still has neighbor
+		// parameters on file (matching the pre-shard publishLocal logic).
+		if key.sub != self && (rs.own.Reachable() || len(rs.params) > 0) {
+			snap.destsByTopic[key.topic] = append(snap.destsByTopic[key.topic], int(key.sub))
+		}
+	}
+	for _, dests := range snap.destsByTopic {
+		sort.Ints(dests)
+	}
+	b.routesSnap.Store(snap)
+}
+
+// publishSubsSnapshotLocked rebuilds the data plane's view of the local
+// subscriber connections per topic. Caller holds b.mu.
+func (b *Broker) publishSubsSnapshotLocked() {
+	snap := &subsSnapshot{byTopic: make(map[int32][]*clientConn, len(b.localSubs))}
+	for topic, subs := range b.localSubs {
+		if len(subs) == 0 {
+			continue
+		}
+		clients := make([]*clientConn, 0, len(subs))
+		for c := range subs {
+			clients = append(clients, c)
+		}
+		snap.byTopic[topic] = clients
+	}
+	b.subsSnap.Store(snap)
 }
 
 // refreshLocalDestinationsLocked pins <0, 1> for every topic with local

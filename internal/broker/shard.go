@@ -1,0 +1,440 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algo2"
+	"repro/internal/wire"
+)
+
+// The broker's data plane is partitioned into Config.Shards single-threaded
+// engine shards. Every packet is assigned to exactly one shard by a hash of
+// its packet ID, so all state for one packet — frame dedup, in-flight
+// retransmission groups, delivery dedup — lives in exactly one engine and
+// never needs cross-shard coordination: retransmissions carry the same
+// frame ID and packet ID, failover copies carry the same packet ID, and
+// hop-by-hop ACKs are routed back by the shard bits their frame ID carries.
+//
+// Producers (connection read loops, client publishes, firing ACK timers)
+// never touch engine state directly: they enqueue items into the owning
+// shard's bounded mailbox and the shard goroutine applies them in arrival
+// order. A full mailbox blocks the producer — the same backpressure the old
+// single broker mutex applied, minus the cross-shard convoying. Cold-path
+// control operations that need a coherent per-shard view (stats snapshots)
+// rendezvous with every shard through Broker.barrier.
+
+const (
+	// shardMailboxLen bounds each shard's work queue. Producers block when
+	// it fills (backpressure onto the connection read loop), so the bound
+	// caps per-shard memory without dropping custody of ACKed frames.
+	shardMailboxLen = 4096
+	// maxShards caps Config.Shards: frame IDs carry the owning shard in 6
+	// bits (see shardShell.NextFrameID).
+	maxShards = 64
+)
+
+// shardItem kinds.
+const (
+	itemPublish = iota
+	itemData
+	itemAck
+	itemTimer
+	itemBarrier
+)
+
+// shardItem is one unit of mailbox work. Items are pooled; producers fill
+// only the fields their kind uses, and the shard goroutine recycles the
+// item after applying it. The dests/path slices are item-owned scratch
+// (producers copy into them, the engine copies out of them); payload is a
+// stable per-message allocation that outlives the item.
+type shardItem struct {
+	kind     int
+	from     int
+	frameID  uint64
+	pktID    uint64
+	topic    int32
+	source   int32
+	pubAt    time.Time
+	deadline time.Duration
+	payload  []byte
+	dests    []int
+	path     []int
+	timer    *ackTimer
+	bfn      func(*shard)
+	acks     chan struct{}
+}
+
+var shardItemPool = sync.Pool{New: func() any { return new(shardItem) }}
+
+func getItem() *shardItem { return shardItemPool.Get().(*shardItem) }
+
+func putItem(it *shardItem) {
+	it.payload = nil
+	it.timer = nil
+	it.bfn = nil
+	it.acks = nil
+	it.dests = it.dests[:0]
+	it.path = it.path[:0]
+	shardItemPool.Put(it)
+}
+
+// shard is one single-threaded slice of the broker's data plane: its own
+// Algorithm-2 engine, object pools, delivery dedup and flush queue, fed by
+// one bounded mailbox and drained by one goroutine. Fields below the
+// mailbox are owned by that goroutine exclusively.
+type shard struct {
+	b   *Broker
+	idx int
+	mb  chan *shardItem
+
+	eng   *algo2.Engine[*ackTimer]
+	pools *algo2.Pools[*ackTimer]
+
+	// Shard-goroutine-only state.
+	deliveredSeen  *dedup
+	pendingDeliver []queuedDeliver
+	nextFrameID    uint64
+
+	// Mailbox telemetry, surfaced through wire.StatsReply.
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+}
+
+// newShard builds one shard. incarnation seeds the frame counter so a
+// restarted broker cannot reuse frame IDs its previous incarnation put on
+// the wire within the peers' dedup horizon (nanoseconds advance far faster
+// than frames are sent, and the 42-bit counter space spans ~73 minutes of
+// wall clock — orders of magnitude past the 2×MaxLifetime horizon).
+func newShard(b *Broker, idx int, incarnation uint64) *shard {
+	nodesHint := b.cfg.ID + len(b.cfg.Neighbors) + 1
+	s := &shard{
+		b:   b,
+		idx: idx,
+		mb:  make(chan *shardItem, shardMailboxLen),
+		// The delivery-dedup budget is split across shards (packet affinity
+		// means each packet consults exactly one shard's set), floored so
+		// tiny deployments with many shards keep a useful horizon.
+		deliveredSeen: newDedup(max(1<<16/b.cfg.Shards, 1<<12)),
+		nextFrameID:   incarnation & (1<<42 - 1),
+	}
+	s.pools = algo2.NewPools[*ackTimer](nodesHint)
+	s.eng = algo2.NewEngine[*ackTimer](algo2.Config{
+		NodeID:      b.cfg.ID,
+		M:           b.cfg.M,
+		AckGuard:    b.cfg.AckGuard,
+		MaxLifetime: b.cfg.MaxLifetime,
+		Persistent:  b.cfg.Persistent,
+		Tracer:      b.cfg.Tracer,
+	}, shardShell{s: s}, s.pools)
+	return s
+}
+
+// enqueue hands an item to the shard goroutine, blocking while the mailbox
+// is full. During shutdown the item is discarded instead (barrier
+// handshakes still complete); it reports whether the item was accepted.
+func (s *shard) enqueue(it *shardItem) bool {
+	select {
+	case s.mb <- it:
+		s.enqueued.Add(1)
+		return true
+	case <-s.b.done:
+		s.discard(it)
+		return false
+	}
+}
+
+// run is the shard goroutine: apply mailbox items in order until Close,
+// then drain. The done check is prioritized so a busy mailbox cannot
+// starve shutdown.
+func (s *shard) run() {
+	for {
+		select {
+		case <-s.b.done:
+			s.drain()
+			return
+		default:
+		}
+		select {
+		case it := <-s.mb:
+			s.handle(it)
+		case <-s.b.done:
+			s.drain()
+			return
+		}
+	}
+}
+
+// drain empties whatever is left of the mailbox without doing protocol work
+// — matching the pre-shard behavior of entry points bailing once b.closed —
+// while still completing barrier handshakes so no control caller hangs.
+// It then shuts the engine down, returning every pooled object, so
+// PoolsLive is final before Close proceeds to writer-pipeline teardown.
+func (s *shard) drain() {
+	for {
+		select {
+		case it := <-s.mb:
+			s.discard(it)
+		default:
+			s.eng.Shutdown()
+			return
+		}
+	}
+}
+
+// discard recycles an item without applying it, completing any barrier
+// handshake it carries.
+func (s *shard) discard(it *shardItem) {
+	if it.kind == itemBarrier {
+		it.acks <- struct{}{} // buffered to shard count; never blocks
+	}
+	putItem(it)
+}
+
+// handle applies one mailbox item to the shard's engine, then flushes the
+// local deliveries the engine queued.
+func (s *shard) handle(it *shardItem) {
+	s.processed.Add(1)
+	b := s.b
+	switch it.kind {
+	case itemPublish:
+		s.eng.Publish(algo2.Packet{
+			ID:          it.pktID,
+			Topic:       it.topic,
+			Source:      it.source,
+			PublishedAt: it.pubAt.Sub(b.epoch),
+			Deadline:    it.deadline,
+			Payload:     it.payload,
+		}, it.dests)
+	case itemData:
+		s.eng.HandleData(algo2.Inbound{
+			FrameID: it.frameID,
+			From:    it.from,
+			Pkt: algo2.Packet{
+				ID:          it.pktID,
+				Topic:       it.topic,
+				Source:      it.source,
+				PublishedAt: it.pubAt.Sub(b.epoch),
+				Deadline:    it.deadline,
+				Payload:     it.payload,
+			},
+			Dests: it.dests,
+			Path:  it.path,
+		})
+	case itemAck:
+		if to, ok := s.eng.HandleAck(it.frameID); ok {
+			if nc := b.neighbors[to]; nc != nil {
+				nc.ackSucceeded()
+			}
+		}
+	case itemTimer:
+		if at := it.timer; !at.stopped {
+			at.fn(at.arg)
+		}
+	case itemBarrier:
+		if it.bfn != nil {
+			it.bfn(s)
+		}
+		it.acks <- struct{}{}
+	}
+	putItem(it)
+	s.flushPending()
+}
+
+// flushPending sends the deliveries the engine queued during the last item
+// to their subscriber clients. Client sends are bounded enqueues into the
+// per-connection writer pipelines, so flushing on the shard goroutine
+// cannot wedge it behind a stalled subscriber.
+func (s *shard) flushPending() {
+	if len(s.pendingDeliver) == 0 {
+		return
+	}
+	q := s.pendingDeliver
+	s.pendingDeliver = s.pendingDeliver[:0]
+	for i := range q {
+		s.b.deliver(q[i].clients, q[i].msg)
+		q[i] = queuedDeliver{}
+	}
+}
+
+// stats snapshots the shard's mailbox telemetry. Depth and inflight are
+// coherent when called on the shard goroutine (via Broker.barrier); the
+// shutdown fallback reads the atomics directly and reports inflight as 0.
+func (s *shard) stats(onShard bool) wire.ShardStat {
+	st := wire.ShardStat{
+		Depth:     int32(len(s.mb)),
+		Enqueued:  s.enqueued.Load(),
+		Processed: s.processed.Load(),
+	}
+	if onShard {
+		st.Inflight = int32(s.eng.InflightCount())
+	}
+	return st
+}
+
+// ackTimer is the live timer handle behind the engine's Deps.AfterFunc. A
+// firing wall-clock timer only enqueues a mailbox item; the callback runs
+// on the shard goroutine, which is also the only place stopped is read or
+// written. CancelTimer (an engine call, hence shard goroutine) therefore
+// needs no lock, and cancellation is reliable by construction: a cancelled
+// timer's item is recycled unexecuted, so the callback can never observe a
+// recycled pooled argument.
+type ackTimer struct {
+	s       *shard
+	t       *time.Timer
+	stopped bool
+	fn      func(any)
+	arg     any
+}
+
+// fire runs on the wall-clock timer goroutine: hand the timer to its shard
+// and get off the hot path. During shutdown the item is discarded; the
+// engine's Shutdown releases the state the timer would have resolved.
+func (at *ackTimer) fire() {
+	it := getItem()
+	it.kind = itemTimer
+	it.timer = at
+	at.s.enqueue(it)
+}
+
+// shardShell implements algo2.Deps for one shard. Every method is invoked
+// by the engine on the shard goroutine; everything it reads from the broker
+// is either immutable after New (cfg, epoch, neighbors), a copy-on-write
+// snapshot (routes, local subscribers) or atomic (counters) — no locks on
+// the data path.
+type shardShell struct{ s *shard }
+
+var _ algo2.Deps[*ackTimer] = shardShell{}
+
+// Now is the engine clock: time since the broker's construction epoch.
+func (sh shardShell) Now() time.Duration { return time.Since(sh.s.b.epoch) }
+
+// AfterFunc arms a wall-clock timer whose callback re-enters the engine
+// through the shard mailbox.
+func (sh shardShell) AfterFunc(d time.Duration, fn func(any), arg any) *ackTimer {
+	at := &ackTimer{s: sh.s, fn: fn, arg: arg}
+	at.t = time.AfterFunc(d, at.fire)
+	return at
+}
+
+// CancelTimer reliably cancels: stopped is only touched on the shard
+// goroutine, and a fired-but-not-yet-applied timer item re-checks it there.
+func (sh shardShell) CancelTimer(t *ackTimer) {
+	t.stopped = true
+	t.t.Stop()
+}
+
+// NextFrameID allocates an overlay-unique frame identifier. Receivers
+// de-duplicate retransmissions by frame ID and senders route the returning
+// hop-by-hop ACK by it, so the layout carries both origins: 16 bits of
+// broker ID, 6 bits of shard index, 42 bits of per-shard counter.
+func (sh shardShell) NextFrameID() uint64 {
+	s := sh.s
+	s.nextFrameID++
+	return uint64(s.b.cfg.ID)<<48 | uint64(s.idx)<<42 | (s.nextFrameID & (1<<42 - 1))
+}
+
+// AckWait scales the ACK timeout to the link's measured round trip
+// (2*alpha; the engine adds Config.AckGuard on top). Unknown neighbors get
+// a bare-guard timeout and fail over via the normal timer path.
+func (sh shardShell) AckWait(k int) (time.Duration, bool) {
+	if nc := sh.s.b.neighbors[k]; nc != nil {
+		alpha, _ := nc.estimate()
+		return 2 * alpha, true
+	}
+	return 0, true
+}
+
+// Send encodes one engine frame as a wire.Data and hands it to the
+// neighbor's writer pipeline (already safe for concurrent senders). The
+// pooled frame is only valid until return while the pipeline retains its
+// message, so the wire message is built fresh per attempt; the payload
+// []byte is stable (copied once on receipt) and shared.
+func (sh shardShell) Send(f *algo2.Frame) {
+	b := sh.s.b
+	nc := b.neighbors[f.To]
+	if nc == nil {
+		return // no such neighbor; the ACK timer will fail the copy over
+	}
+	b.forwarded.Add(1)
+	msg := &wire.Data{
+		FrameID:     f.ID,
+		PacketID:    f.Pkt.ID,
+		Topic:       f.Pkt.Topic,
+		Source:      f.Pkt.Source,
+		PublishedAt: b.epoch.Add(f.Pkt.PublishedAt),
+		Deadline:    f.Pkt.Deadline,
+		Dests:       make([]int32, len(f.Dests)),
+		Path:        make([]int32, len(f.Path)),
+		Payload:     f.Pkt.Payload.([]byte),
+	}
+	for i, d := range f.Dests {
+		msg.Dests[i] = int32(d)
+	}
+	for i, p := range f.Path {
+		msg.Path[i] = int32(p)
+	}
+	if err := nc.send(msg); err != nil {
+		b.logf("send frame %d to %d: %v", f.ID, f.To, err)
+	}
+}
+
+// SendingList exposes the distributed Algorithm-1 state via the routing
+// snapshot (rebuilt copy-on-write by recomputeAndAdvertise).
+func (sh shardShell) SendingList(topic int32, dest int) []int {
+	return sh.s.b.routesSnap.Load().lists[routeKey{topic: topic, sub: int32(dest)}]
+}
+
+// LinkUp skips neighbors without a live connection.
+func (sh shardShell) LinkUp(k int) bool {
+	nc := sh.s.b.neighbors[k]
+	return nc != nil && nc.connected()
+}
+
+// Deliver queues a local delivery, flushed by the shard goroutine after the
+// engine call returns. Packet-level dedup lives here, per shard — packet
+// affinity guarantees every copy of one packet consults the same set.
+func (sh shardShell) Deliver(pkt *algo2.Packet, _ int) {
+	s := sh.s
+	if s.deliveredSeen.Seen(pkt.ID) {
+		return
+	}
+	s.pendingDeliver = append(s.pendingDeliver, queuedDeliver{
+		clients: s.b.localClients(pkt.Topic),
+		msg: &wire.Deliver{
+			Topic:       pkt.Topic,
+			PacketID:    pkt.ID,
+			Source:      pkt.Source,
+			PublishedAt: s.b.epoch.Add(pkt.PublishedAt),
+			Payload:     pkt.Payload.([]byte),
+		},
+	})
+}
+
+// Drop counts abandoned destinations.
+func (sh shardShell) Drop(pkt *algo2.Packet, dests []int, reason algo2.DropReason) {
+	b := sh.s.b
+	b.dropped.Add(uint64(len(dests)))
+	for _, dest := range dests {
+		if reason == algo2.DropExhausted {
+			b.logf("packet %d: no route to dest %d, dropping at origin", pkt.ID, dest)
+		} else {
+			b.logf("packet %d: lifetime exceeded for dest %d", pkt.ID, dest)
+		}
+	}
+}
+
+// AckTimedOut decays the neighbor's adaptive gamma.
+func (sh shardShell) AckTimedOut(k int) {
+	if nc := sh.s.b.neighbors[k]; nc != nil {
+		nc.ackTimedOut()
+	}
+}
+
+// NextRetryAt paces §III persistency retries: a packet whose sending list
+// is unreachable is re-processed every RetryInterval until a route appears
+// or its lifetime expires.
+func (sh shardShell) NextRetryAt(now time.Duration) time.Duration {
+	return now + sh.s.b.cfg.RetryInterval
+}

@@ -69,6 +69,10 @@ func soakBrokerConfig(id int, addr string, neighbors map[int]string) Config {
 		Persistent:      true,
 		RetryInterval:   50 * time.Millisecond,
 		DefaultDeadline: 30 * time.Second,
+		// Pin a multi-shard data plane regardless of the machine's core
+		// count: the soak must exercise cross-shard dispatch, per-shard
+		// pools and the shard-drain shutdown path.
+		Shards: 4,
 	}
 }
 
@@ -445,6 +449,18 @@ func TestCloseUnderChaosTraffic(t *testing.T) {
 		works, flights, frames := b.PoolsLive()
 		if works != 0 || flights != 0 || frames != 0 {
 			t.Errorf("broker %d leaked pooled objects: works=%d flights=%d frames=%d",
+				b.ID(), works, flights, frames)
+		}
+	}
+	// Shard-aware shutdown ordering: Close waits for every shard to drain
+	// its mailbox and shut its engine down before tearing connections apart,
+	// so once PoolsLive reads zero it must STAY zero — no straggling
+	// in-flight work may resurrect a pooled object after the read.
+	time.Sleep(200 * time.Millisecond)
+	for _, b := range o.brokers {
+		works, flights, frames := b.PoolsLive()
+		if works != 0 || flights != 0 || frames != 0 {
+			t.Errorf("broker %d: pooled objects resurrected after Close: works=%d flights=%d frames=%d",
 				b.ID(), works, flights, frames)
 		}
 	}

@@ -42,6 +42,9 @@ func allTypesCorpus() []Message {
 			Routes: []RouteStat{
 				{Topic: 3, Sub: 1, D: 45 * time.Millisecond, R: 0.93, ListLen: 2},
 			},
+			Shards: []ShardStat{
+				{Depth: 2, Enqueued: 64, Processed: 62, Inflight: 5},
+			},
 		},
 		&StatsReply{Token: 1},
 	}

@@ -214,6 +214,16 @@ type RouteStat struct {
 	ListLen int32
 }
 
+// ShardStat is one engine shard's data-plane state: mailbox depth plus
+// lifetime enqueue/process counters, and (when the snapshot was taken on the
+// shard's own goroutine) the engine's in-flight group count.
+type ShardStat struct {
+	Depth     int32
+	Enqueued  uint64
+	Processed uint64
+	Inflight  int32
+}
+
 // StatsReply reports a broker's operational state.
 type StatsReply struct {
 	Token      uint64
@@ -227,6 +237,7 @@ type StatsReply struct {
 	Reconnects uint64 // neighbor links re-established after a drop
 	Neighbors  []NeighborStat
 	Routes     []RouteStat
+	Shards     []ShardStat
 }
 
 // interface conformance
@@ -813,6 +824,13 @@ func (m *StatsReply) appendBody(dst []byte) []byte {
 		dst = appendF64(dst, rt.R)
 		dst = appendI32(dst, rt.ListLen)
 	}
+	dst = appendU16(dst, uint16(len(m.Shards)))
+	for _, sh := range m.Shards {
+		dst = appendI32(dst, sh.Depth)
+		dst = appendU64(dst, sh.Enqueued)
+		dst = appendU64(dst, sh.Processed)
+		dst = appendI32(dst, sh.Inflight)
+	}
 	return dst
 }
 
@@ -892,6 +910,27 @@ func (m *StatsReply) decode(r *reader) (err error) {
 			return err
 		}
 		m.Routes = append(m.Routes, rt)
+	}
+	m.Shards = m.Shards[:0]
+	nsd, err := r.u16()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nsd); i++ {
+		var sh ShardStat
+		if sh.Depth, err = r.i32(); err != nil {
+			return err
+		}
+		if sh.Enqueued, err = r.u64(); err != nil {
+			return err
+		}
+		if sh.Processed, err = r.u64(); err != nil {
+			return err
+		}
+		if sh.Inflight, err = r.i32(); err != nil {
+			return err
+		}
+		m.Shards = append(m.Shards, sh)
 	}
 	return nil
 }

@@ -63,6 +63,10 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Routes: []RouteStat{
 				{Topic: 3, Sub: 1, D: 45 * time.Millisecond, R: 0.93, ListLen: 2},
 			},
+			Shards: []ShardStat{
+				{Depth: 0, Enqueued: 1000, Processed: 1000, Inflight: 0},
+				{Depth: 12, Enqueued: 5000, Processed: 4988, Inflight: 37},
+			},
 		},
 		&StatsReply{Token: 1, BrokerID: 0},
 	}

@@ -18,7 +18,12 @@
 # With -check, no snapshot is written: the raw run is piped through
 # `benchjson -check BENCH_baseline.json`, which exits non-zero if any
 # benchmark's mean ns/op rose — or any "/sec" throughput metric fell — by
-# more than 20% against the baseline's "current" section.
+# more than 20% against the baseline's "current" section. The sharded
+# scaling curve's 8-core point is additionally pinned with -require, so
+# renaming or dropping BenchmarkBrokerSharded cannot silently un-gate it.
+# (BenchmarkBrokerSharded sets GOMAXPROCS inside its cpus=N sub-runs rather
+# than via -cpu: benchjson strips go's -N name suffix when merging counts,
+# so -cpu variants would collapse into one entry.)
 #
 # To compare snapshots by hand:
 #   scripts/bench.sh BENCH_current.json
@@ -38,7 +43,8 @@ run_all() {
 }
 
 if [ "${1:-}" = "-check" ]; then
-	run_all | go run ./cmd/benchjson -check BENCH_baseline.json
+	run_all | go run ./cmd/benchjson -check BENCH_baseline.json \
+		-require 'BenchmarkBrokerSharded/cpus=8'
 	exit
 fi
 
