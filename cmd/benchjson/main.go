@@ -22,10 +22,12 @@
 // than -threshold (default 0.20, i.e. 20%); when its B/op grows by more
 // than 30% (fixed, only where both runs report a positive B/op — a zero is
 // indistinguishable from a run without -benchmem, so growth from or to
-// zero is never gated); or — for throughput-style custom metrics whose
+// zero is never gated); for throughput-style custom metrics whose
 // unit ends in "/sec", as the BenchmarkBroker* suite reports (msgs/sec,
 // deliveries/sec) — when the metric falls below the baseline's by more
-// than -threshold. The baseline may be flat (an object keyed by benchmark
+// than -threshold; or for latency-percentile metrics (units like p50_ms,
+// p99_us, as dcrd-loadgen emits) — when the percentile rises above the
+// baseline's by more than -threshold. The baseline may be flat (an object keyed by benchmark
 // name, as emitted by this tool) or sectioned like BENCH_baseline.json,
 // where a "current" section holds the reference numbers and historical
 // sections ("seed", "optimized", ...) are kept for the record. Benchmarks
@@ -208,11 +210,34 @@ func loadBaseline(path string) (map[string]Result, error) {
 // own, slightly laxer gate.
 const bytesThreshold = 0.30
 
+// isLatencyUnit reports whether a custom-metric unit names a latency
+// percentile ("p50_ms", "p999_us", ...) — a lower-is-better metric gated on
+// RISING, the mirror image of the "/sec" throughput gate.
+func isLatencyUnit(unit string) bool {
+	rest, ok := strings.CutPrefix(unit, "p")
+	if !ok {
+		return false
+	}
+	digits, unitOK := "", false
+	for _, suffix := range []string{"_ms", "_us", "_ns", "_s"} {
+		if d, found := strings.CutSuffix(rest, suffix); found {
+			digits, unitOK = d, true
+			break
+		}
+	}
+	if !unitOK || digits == "" {
+		return false
+	}
+	_, err := strconv.Atoi(digits)
+	return err == nil
+}
+
 // check prints a per-benchmark comparison and reports whether every
 // benchmark stayed within the allowed regression: ns/op must not rise by
 // more than threshold, B/op must not grow by more than bytesThreshold
-// (where both runs report it), and any "/sec" throughput metric must not
-// fall by more than threshold.
+// (where both runs report it), any "/sec" throughput metric must not
+// fall by more than threshold, and any latency-percentile metric (p99_ms
+// and friends) must not rise by more than threshold.
 func check(w io.Writer, results, baseline map[string]Result, threshold float64) bool {
 	names := make([]string, 0, len(results))
 	for name := range results {
@@ -250,7 +275,7 @@ func check(w io.Writer, results, baseline map[string]Result, threshold float64) 
 		}
 		units := make([]string, 0, len(base.Metrics))
 		for unit := range base.Metrics {
-			if strings.HasSuffix(unit, "/sec") {
+			if strings.HasSuffix(unit, "/sec") || isLatencyUnit(unit) {
 				units = append(units, unit)
 			}
 		}
@@ -263,11 +288,17 @@ func check(w io.Writer, results, baseline map[string]Result, threshold float64) 
 			}
 			mdelta := curV/baseV - 1
 			mverdict := "  ok "
-			if mdelta < -threshold {
+			if isLatencyUnit(unit) {
+				// Lower is better: a rising percentile regresses.
+				if mdelta > threshold {
+					mverdict = " FAIL"
+					ok = false
+				}
+			} else if mdelta < -threshold {
 				mverdict = " FAIL"
 				ok = false
 			}
-			fmt.Fprintf(w, "%s %s: %.0f -> %.0f %s (%+.1f%%)\n",
+			fmt.Fprintf(w, "%s %s: %.3g -> %.3g %s (%+.1f%%)\n",
 				mverdict, name, baseV, curV, unit, 100*mdelta)
 		}
 	}

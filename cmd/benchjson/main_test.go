@@ -136,6 +136,86 @@ func TestCheckRequired(t *testing.T) {
 	}
 }
 
+// loadgenLine is the summary dcrd-loadgen prints; parseBench must ingest it
+// like any testing.B line, keeping the percentile metrics by unit.
+const loadgenLine = "BenchmarkEdgeLoadgen/subs=1000/sessions=8 1 812345 ns/op 159320.0 deliveries/sec 0.610 p50_ms 1.200 p90_ms 4.500 p99_ms 9.100 p999_ms 0.9990 delivered_ratio\n"
+
+func TestParseBenchLoadgenLine(t *testing.T) {
+	results, err := parseBench(strings.NewReader(loadgenLine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := results["BenchmarkEdgeLoadgen/subs=1000/sessions=8"]
+	if !ok {
+		t.Fatalf("benchmark missing from parse: %v", results)
+	}
+	if r.NsPerOp != 812345 {
+		t.Errorf("ns/op = %v, want 812345", r.NsPerOp)
+	}
+	for unit, want := range map[string]float64{
+		"deliveries/sec":  159320.0,
+		"p50_ms":          0.610,
+		"p99_ms":          4.500,
+		"delivered_ratio": 0.9990,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestIsLatencyUnit(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"p50_ms":          true,
+		"p90_ms":          true,
+		"p999_us":         true,
+		"p99_ns":          true,
+		"p50_s":           true,
+		"deliveries/sec":  false,
+		"delivered_ratio": false,
+		"p_ms":            false, // no digits
+		"pxx_ms":          false, // non-numeric
+		"p50_kg":          false, // unknown suffix
+		"q50_ms":          false, // wrong prefix
+	} {
+		if got := isLatencyUnit(unit); got != want {
+			t.Errorf("isLatencyUnit(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestCheckLatencyGate pins the lower-is-better direction of the percentile
+// gate: a rising p99 fails, a falling p99 passes, and the "/sec" gate keeps
+// its falling-fails direction alongside it.
+func TestCheckLatencyGate(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkEdgeLoadgen": {
+			NsPerOp: 1000,
+			Metrics: map[string]float64{"p99_ms": 4.0, "deliveries/sec": 100000},
+		},
+	}
+	cases := []struct {
+		name string
+		cur  Result
+		ok   bool
+	}{
+		{"unchanged", Result{NsPerOp: 1000, Metrics: map[string]float64{"p99_ms": 4.0, "deliveries/sec": 100000}}, true},
+		{"latency_improves", Result{NsPerOp: 1000, Metrics: map[string]float64{"p99_ms": 1.0, "deliveries/sec": 100000}}, true},
+		{"latency_regresses", Result{NsPerOp: 1000, Metrics: map[string]float64{"p99_ms": 6.0, "deliveries/sec": 100000}}, false},
+		{"throughput_falls", Result{NsPerOp: 1000, Metrics: map[string]float64{"p99_ms": 4.0, "deliveries/sec": 10000}}, false},
+		{"throughput_rises", Result{NsPerOp: 1000, Metrics: map[string]float64{"p99_ms": 4.0, "deliveries/sec": 500000}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			results := map[string]Result{"BenchmarkEdgeLoadgen": tc.cur}
+			if got := check(&out, results, baseline, 0.20); got != tc.ok {
+				t.Errorf("check = %v, want %v\n%s", got, tc.ok, out.String())
+			}
+		})
+	}
+}
+
 // TestCheckNsRegressionStillFails keeps the original ns/op rule intact.
 func TestCheckNsRegressionStillFails(t *testing.T) {
 	baseline := map[string]Result{"BenchmarkX": {NsPerOp: 100}}

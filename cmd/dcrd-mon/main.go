@@ -62,6 +62,8 @@ func printStats(out io.Writer, r *wire.StatsReply) {
 		r.BrokerID, r.Published, r.Delivered, r.Forwarded, r.Dropped)
 	fmt.Fprintf(out, "  queue drops %d, redials %d, reconnects %d\n",
 		r.QueueDrops, r.Redials, r.Reconnects)
+	fmt.Fprintf(out, "  edge: %d mux sessions, %d subscriptions\n",
+		r.Sessions, r.Subscriptions)
 	if len(r.Shards) > 0 {
 		fmt.Fprintln(out, "shards:")
 		for i, sh := range r.Shards {

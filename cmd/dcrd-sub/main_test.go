@@ -1,0 +1,34 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTopics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int32
+		ok   bool
+	}{
+		{"5", []int32{5}, true},
+		{"1,2,3", []int32{1, 2, 3}, true},
+		{" 1 , 2 ,3 ", []int32{1, 2, 3}, true},
+		{"7,,8,", []int32{7, 8}, true},
+		{"-3,0", []int32{-3, 0}, true},
+		{"", nil, false},
+		{",,", nil, false},
+		{"1,x", nil, false},
+		{"99999999999999", nil, false}, // overflows int32
+	}
+	for _, tc := range cases {
+		got, err := parseTopics(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseTopics(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseTopics(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -242,9 +242,7 @@ func BenchmarkBrokerFanout(b *testing.B) {
 			}
 			deadline := time.Now().Add(10 * time.Second)
 			for {
-				bk.mu.Lock()
-				n := len(bk.localSubs[2])
-				bk.mu.Unlock()
+				n := bk.localLedger(2).subscribers()
 				if n == k {
 					break
 				}
@@ -335,9 +333,9 @@ func BenchmarkBrokerSharded(b *testing.B) {
 				subs[i] = c
 			}
 			deadline := time.Now().Add(10 * time.Second)
-			for len(bk.localClients(2)) != k {
+			for bk.localLedger(2).subscribers() != k {
 				if time.Now().After(deadline) {
-					b.Fatalf("only %d/%d subscriptions registered", len(bk.localClients(2)), k)
+					b.Fatalf("only %d/%d subscriptions registered", bk.localLedger(2).subscribers(), k)
 				}
 				time.Sleep(10 * time.Millisecond)
 			}

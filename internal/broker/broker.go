@@ -176,11 +176,18 @@ type Broker struct {
 	// through the snapshots above).
 	mu      sync.Mutex
 	clients map[*clientConn]struct{}
-	// localSubs[topic][client] = deadline
-	localSubs map[int32]map[*clientConn]time.Duration
+	// topics is the per-topic subscription ledger: legacy per-connection
+	// subscribers plus per-session subscriber-ID bitsets (edge.go).
+	topics map[int32]*topicSubs
+	// dirtySubs queues topics whose immutable ledger must be rebuilt into
+	// the next subsSnapshot (see flushSubsLocked).
+	dirtySubs map[int32]struct{}
 	// routes[(topic, subscriberBroker)] = distributed routing state
 	routes map[routeKey]*routeState
 	closed bool
+
+	// subsKick nudges the session-churn snapshot flusher (buffered 1).
+	subsKick chan struct{}
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -200,6 +207,17 @@ type Broker struct {
 	queueDrops atomic.Uint64 // messages dropped on a full send queue
 	redials    atomic.Uint64 // failed neighbor dial attempts
 	reconnects atomic.Uint64 // neighbor re-attaches after the first
+
+	// Edge-tier gauges: live mux sessions and logical subscriptions
+	// (legacy + session) — exported through Stats and wire.StatsReply.
+	sessionsGauge      atomic.Int64
+	subscriptionsGauge atomic.Int64
+
+	// Wire-egress telemetry, incremented on the writer-goroutine encode
+	// path: frames and encoded bytes actually put on connections. The edge
+	// fan-out benchmark reads these to measure aggregation gains.
+	wireFrames atomic.Uint64
+	wireBytes  atomic.Uint64
 }
 
 // routeSnapshot is the data plane's immutable view of the Algorithm-1
@@ -212,16 +230,10 @@ type routeSnapshot struct {
 	destsByTopic map[int32][]int
 }
 
-// subsSnapshot is the data plane's immutable view of the local subscriber
-// connections per topic.
+// subsSnapshot is the data plane's immutable view of the local
+// subscriptions: one materialized delivery ledger per topic (edge.go).
 type subsSnapshot struct {
-	byTopic map[int32][]*clientConn
-}
-
-// localClients returns the local subscriber connections for a topic from
-// the current snapshot (lock-free).
-func (b *Broker) localClients(topic int32) []*clientConn {
-	return b.subsSnap.Load().byTopic[topic]
+	byTopic map[int32]*topicLedger
 }
 
 type routeKey struct {
@@ -264,10 +276,12 @@ func New(cfg Config) (*Broker, error) {
 		cfg:       cfg,
 		neighbors: make(map[int]*neighborConn, len(cfg.Neighbors)),
 		clients:   make(map[*clientConn]struct{}),
-		localSubs: make(map[int32]map[*clientConn]time.Duration),
+		topics:    make(map[int32]*topicSubs),
+		dirtySubs: make(map[int32]struct{}),
 		routes:    make(map[routeKey]*routeState),
 		epoch:     time.Now(),
 		done:      make(chan struct{}),
+		subsKick:  make(chan struct{}, 1),
 	}
 	// The neighbor set is fixed by configuration, so the map can be built
 	// complete here and read lock-free everywhere after.
@@ -299,6 +313,10 @@ func New(cfg Config) (*Broker, error) {
 			s.run()
 		})
 	}
+	// The session-churn snapshot flusher likewise starts with the broker:
+	// SessionSub frames may arrive over pipe connections before a listener
+	// exists, and their deferred snapshot publishes need a running flusher.
+	b.goTracked(func() { b.subsFlusher() })
 	return b, nil
 }
 
@@ -450,6 +468,9 @@ type Stats struct {
 	QueueDrops uint64 // messages dropped on a full per-connection queue
 	Redials    uint64 // failed neighbor dial attempts
 	Reconnects uint64 // neighbor links re-attached after their first attach
+	// Edge-tier gauges (not counters): current level, not cumulative.
+	Sessions      uint64 // live multiplexed client sessions
+	Subscriptions uint64 // live logical subscriptions (legacy + session)
 }
 
 // Stats returns the current counters. All counters are atomic, so this
@@ -463,6 +484,9 @@ func (b *Broker) Stats() Stats {
 		QueueDrops: b.queueDrops.Load(),
 		Redials:    b.redials.Load(),
 		Reconnects: b.reconnects.Load(),
+
+		Sessions:      uint64(b.sessionsGauge.Load()),
+		Subscriptions: uint64(b.subscriptionsGauge.Load()),
 	}
 }
 
@@ -497,6 +521,9 @@ func (b *Broker) statsReply(token uint64) *wire.StatsReply {
 		QueueDrops: b.queueDrops.Load(),
 		Redials:    b.redials.Load(),
 		Reconnects: b.reconnects.Load(),
+
+		Sessions:      uint64(b.sessionsGauge.Load()),
+		Subscriptions: uint64(b.subscriptionsGauge.Load()),
 	}
 
 	// Per-shard stats: a barrier run gives an on-shard view (mailbox depth

@@ -153,7 +153,9 @@ func (b *Broker) runWriter(w *connWriter, label string, onExit func()) {
 }
 
 // appendFrameChecked encodes msg onto buf, dropping (and logging) frames
-// that exceed the wire size limit instead of poisoning the stream.
+// that exceed the wire size limit instead of poisoning the stream. It also
+// feeds the broker's wire-egress telemetry (frames and encoded bytes) —
+// the edge fan-out benchmark measures aggregation gains through it.
 func (b *Broker) appendFrameChecked(buf []byte, label string, msg wire.Message) []byte {
 	base := len(buf)
 	buf = wire.AppendFrame(buf, msg)
@@ -161,6 +163,8 @@ func (b *Broker) appendFrameChecked(buf []byte, label string, msg wire.Message) 
 		b.logf("%s: dropping oversized %v frame", label, msg.Type())
 		return buf[:base]
 	}
+	b.wireFrames.Add(1)
+	b.wireBytes.Add(uint64(len(buf) - base))
 	return buf
 }
 
@@ -362,6 +366,9 @@ type clientConn struct {
 	name string
 	conn net.Conn
 	w    *connWriter
+	// mux marks a connection that opted into the multiplexed session
+	// protocol (SessionHello or a first SessionSub). Guarded by b.mu.
+	mux bool
 }
 
 // send enqueues one message for the client's writer pipeline. The message
@@ -536,15 +543,10 @@ func (b *Broker) handleClientConn(name string, conn net.Conn) {
 	defer func() {
 		b.mu.Lock()
 		delete(b.clients, c)
-		for topic, subs := range b.localSubs {
-			if _, ok := subs[c]; ok {
-				delete(subs, c)
-				if len(subs) == 0 {
-					delete(b.localSubs, topic)
-				}
-			}
-		}
-		b.publishSubsSnapshotLocked()
+		b.dropClientSubsLocked(c)
+		// Disconnects flush synchronously: a departed connection must not
+		// linger in the delivery snapshot for a coalescing window.
+		b.flushSubsLocked()
 		b.mu.Unlock()
 		b.recomputeLocalRoutes()
 		c.w.shutdown()
@@ -561,6 +563,12 @@ func (b *Broker) handleClientConn(name string, conn net.Conn) {
 			b.subscribeLocal(c, m)
 		case *wire.Unsubscribe:
 			b.unsubscribeLocal(c, m)
+		case *wire.SessionHello:
+			b.sessionHello(c, m)
+		case *wire.SessionSub:
+			b.sessionSub(c, m)
+		case *wire.SessionUnsub:
+			b.sessionUnsub(c, m)
 		case *wire.Publish:
 			b.publishLocal(m)
 		case *wire.Ping:

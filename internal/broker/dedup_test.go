@@ -156,9 +156,6 @@ func TestClientDisconnectWithdrawsRoute(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, 3*time.Second, "route to be withdrawn after disconnect", func() bool {
-		b := o.brokers[1]
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return len(b.localSubs[6]) == 0
+		return o.brokers[1].localLedger(6).subscribers() == 0
 	})
 }

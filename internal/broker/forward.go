@@ -14,11 +14,11 @@ import (
 // copy-on-write snapshots and atomics.
 
 // queuedDeliver is one local delivery the engine produced during a shard's
-// engine call; it is sent to the clients when the shard flushes, after the
-// engine returns.
+// engine call; it is sent to the ledger's subscribers when the shard
+// flushes, after the engine returns. led is an immutable snapshot ledger.
 type queuedDeliver struct {
-	clients []*clientConn
-	msg     *wire.Deliver
+	led *topicLedger
+	msg *wire.Deliver
 }
 
 // publishLocal accepts a publish from a connected client: deliver to local
@@ -41,7 +41,7 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 	// Packet IDs must be overlay-unique (delivery dedup keys on them), so
 	// the broker ID occupies the high bits.
 	pid := uint64(b.cfg.ID)<<48 | (b.nextPacketID.Add(1) & (1<<48 - 1))
-	deliverTo := b.localClients(m.Topic)
+	deliverTo := b.localLedger(m.Topic)
 
 	it := getItem()
 	it.kind = itemPublish
@@ -128,14 +128,39 @@ func (b *Broker) ackShard(frameID uint64) *shard {
 	return b.shards[int(frameID>>42&(maxShards-1))%len(b.shards)]
 }
 
-// deliver pushes a message to local subscriber clients. Sends are bounded
-// enqueues into per-connection writer pipelines, safe from any goroutine.
-func (b *Broker) deliver(clients []*clientConn, msg *wire.Deliver) {
-	for _, c := range clients {
+// deliver pushes a message to a topic ledger's local subscribers. Sends are
+// bounded enqueues into per-connection writer pipelines, safe from any
+// goroutine. Legacy subscribers each get their own Deliver frame; every
+// multiplexed session gets ONE MuxDeliver frame carrying its subscriber-ID
+// list — the payload []byte and the ledger's ID slices are shared with the
+// queued messages (both immutable, see edge.go), so the aggregation costs
+// one small message header per session, not one payload copy per
+// subscriber. The delivered counter counts logical deliveries either way.
+func (b *Broker) deliver(led *topicLedger, msg *wire.Deliver) {
+	if led == nil {
+		return
+	}
+	for _, c := range led.legacy {
 		if err := c.send(msg); err != nil {
 			b.logf("deliver to %q: %v", c.name, err)
 			continue
 		}
 		b.delivered.Add(1)
+	}
+	for i := range led.sessions {
+		sd := &led.sessions[i]
+		mux := &wire.MuxDeliver{
+			Topic:       msg.Topic,
+			PacketID:    msg.PacketID,
+			Source:      msg.Source,
+			PublishedAt: msg.PublishedAt,
+			SubIDs:      sd.subIDs,
+			Payload:     msg.Payload,
+		}
+		if err := sd.c.send(mux); err != nil {
+			b.logf("mux deliver to %q: %v", sd.c.name, err)
+			continue
+		}
+		b.delivered.Add(uint64(len(sd.subIDs)))
 	}
 }

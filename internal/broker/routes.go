@@ -21,13 +21,22 @@ func (b *Broker) subscribeLocal(c *clientConn, m *wire.Subscribe) {
 		deadline = b.cfg.DefaultDeadline
 	}
 	b.mu.Lock()
-	subs := b.localSubs[m.Topic]
-	if subs == nil {
-		subs = make(map[*clientConn]time.Duration)
-		b.localSubs[m.Topic] = subs
+	ts := b.topics[m.Topic]
+	if ts == nil {
+		ts = &topicSubs{}
+		b.topics[m.Topic] = ts
 	}
-	subs[c] = deadline
-	b.publishSubsSnapshotLocked()
+	if ts.legacy == nil {
+		ts.legacy = make(map[*clientConn]time.Duration)
+	}
+	if _, ok := ts.legacy[c]; !ok {
+		b.subscriptionsGauge.Add(1)
+	}
+	ts.legacy[c] = deadline
+	b.markSubsDirtyLocked(m.Topic)
+	// Legacy subscribes flush synchronously: the historical contract is
+	// that the subscription is delivery-visible when Subscribe returns.
+	b.flushSubsLocked()
 	b.mu.Unlock()
 	b.logf("client %q subscribed to topic %d (deadline %v)", c.name, m.Topic, deadline)
 	b.recomputeAndAdvertise(false)
@@ -38,13 +47,17 @@ func (b *Broker) subscribeLocal(c *clientConn, m *wire.Subscribe) {
 // the recomputation).
 func (b *Broker) unsubscribeLocal(c *clientConn, m *wire.Unsubscribe) {
 	b.mu.Lock()
-	if subs := b.localSubs[m.Topic]; subs != nil {
-		delete(subs, c)
-		if len(subs) == 0 {
-			delete(b.localSubs, m.Topic)
+	if ts := b.topics[m.Topic]; ts != nil {
+		if _, ok := ts.legacy[c]; ok {
+			delete(ts.legacy, c)
+			b.subscriptionsGauge.Add(-1)
+			if !ts.occupied() {
+				delete(b.topics, m.Topic)
+			}
+			b.markSubsDirtyLocked(m.Topic)
 		}
 	}
-	b.publishSubsSnapshotLocked()
+	b.flushSubsLocked()
 	b.mu.Unlock()
 	b.logf("client %q unsubscribed from topic %d", c.name, m.Topic)
 	b.recomputeAndAdvertise(true)
@@ -161,29 +174,12 @@ func (b *Broker) publishRouteSnapshotLocked() {
 	b.routesSnap.Store(snap)
 }
 
-// publishSubsSnapshotLocked rebuilds the data plane's view of the local
-// subscriber connections per topic. Caller holds b.mu.
-func (b *Broker) publishSubsSnapshotLocked() {
-	snap := &subsSnapshot{byTopic: make(map[int32][]*clientConn, len(b.localSubs))}
-	for topic, subs := range b.localSubs {
-		if len(subs) == 0 {
-			continue
-		}
-		clients := make([]*clientConn, 0, len(subs))
-		for c := range subs {
-			clients = append(clients, c)
-		}
-		snap.byTopic[topic] = clients
-	}
-	b.subsSnap.Store(snap)
-}
-
 // refreshLocalDestinationsLocked pins <0, 1> for every topic with local
 // subscribers and withdraws routes whose local subscribers left.
 func (b *Broker) refreshLocalDestinationsLocked() {
 	self := int32(b.cfg.ID)
-	for topic, subs := range b.localSubs {
-		if len(subs) == 0 {
+	for topic, ts := range b.topics {
+		if !ts.occupied() {
 			continue
 		}
 		key := routeKey{topic: topic, sub: self}
@@ -192,20 +188,14 @@ func (b *Broker) refreshLocalDestinationsLocked() {
 			rs = &routeState{params: make(map[int]core.DR)}
 			b.routes[key] = rs
 		}
-		var maxDeadline time.Duration
-		for _, d := range subs {
-			if d > maxDeadline {
-				maxDeadline = d
-			}
-		}
-		rs.deadline = maxDeadline
+		rs.deadline = ts.maxDeadline()
 	}
 	// Withdraw the self-route when the last local subscriber is gone.
 	for key, rs := range b.routes {
 		if key.sub != self {
 			continue
 		}
-		if len(b.localSubs[key.topic]) == 0 {
+		if !b.topics[key.topic].occupied() {
 			rs.own = core.Unreachable()
 		}
 	}
@@ -214,7 +204,7 @@ func (b *Broker) refreshLocalDestinationsLocked() {
 // recomputeRouteLocked runs the per-node step of Algorithm 1 for one
 // (topic, subscriber) pair.
 func (b *Broker) recomputeRouteLocked(key routeKey, rs *routeState) {
-	if key.sub == int32(b.cfg.ID) && len(b.localSubs[key.topic]) > 0 {
+	if key.sub == int32(b.cfg.ID) && b.topics[key.topic].occupied() {
 		// This broker is the destination: parameters are pinned.
 		rs.own = core.DR{D: 0, R: 1}
 		rs.list = nil

@@ -253,7 +253,7 @@ func (s *shard) flushPending() {
 	q := s.pendingDeliver
 	s.pendingDeliver = s.pendingDeliver[:0]
 	for i := range q {
-		s.b.deliver(q[i].clients, q[i].msg)
+		s.b.deliver(q[i].led, q[i].msg)
 		q[i] = queuedDeliver{}
 	}
 }
@@ -400,8 +400,12 @@ func (sh shardShell) Deliver(pkt *algo2.Packet, _ int) {
 	if s.deliveredSeen.Seen(pkt.ID) {
 		return
 	}
+	led := s.b.localLedger(pkt.Topic)
+	if led == nil {
+		return
+	}
 	s.pendingDeliver = append(s.pendingDeliver, queuedDeliver{
-		clients: s.b.localClients(pkt.Topic),
+		led: led,
 		msg: &wire.Deliver{
 			Topic:       pkt.Topic,
 			PacketID:    pkt.ID,

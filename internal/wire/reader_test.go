@@ -45,8 +45,16 @@ func allTypesCorpus() []Message {
 			Shards: []ShardStat{
 				{Depth: 2, Enqueued: 64, Processed: 62, Inflight: 5},
 			},
+			Sessions: 8, Subscriptions: 1000,
 		},
 		&StatsReply{Token: 1},
+		&SessionHello{Subscribers: 1000},
+		&SessionSub{SubID: 42, Topic: 4, Deadline: 200 * time.Millisecond},
+		&SessionUnsub{SubID: 42, Topic: 4},
+		&MuxDeliver{
+			Topic: 4, PacketID: 78, Source: 2, PublishedAt: at,
+			SubIDs: []uint32{3, 17, 300}, Payload: []byte("agg"),
+		},
 	}
 }
 

@@ -10,8 +10,11 @@
 //
 // Strings and byte blobs are encoded as uint32 length + bytes. Node lists
 // are uint16 count + int32 entries. The protocol is deliberately simple —
-// fixed encodings, no varints, no compression — so a broker can be
-// implemented in any language from this file alone.
+// fixed encodings, no compression — so a broker can be implemented in any
+// language from this file alone. The one exception is the session-
+// multiplexing tier: MuxDeliver's subscriber-ID list uses unsigned LEB128
+// varints (count, then IDs), because that list is the dominant per-delivery
+// wire cost at high fan-in and the IDs are small by construction.
 //
 // The codec offers two tiers. Write and Read are the convenience API: one
 // frame per call, freshly allocated messages, safe to retain. The zero-
@@ -60,6 +63,17 @@ const (
 	TypeStatsRequest
 	// TypeStatsReply answers a TypeStatsRequest.
 	TypeStatsReply
+	// TypeSessionHello upgrades a client connection to a multiplexed
+	// session carrying many logical subscribers.
+	TypeSessionHello
+	// TypeSessionSub subscribes one session-local subscriber ID to a topic.
+	TypeSessionSub
+	// TypeSessionUnsub removes one session-local subscriber's subscription.
+	TypeSessionUnsub
+	// TypeMuxDeliver hands one payload to many logical subscribers of a
+	// session at once (one frame per (topic, session) instead of one per
+	// subscriber).
+	TypeMuxDeliver
 )
 
 // String returns the message type name.
@@ -89,6 +103,14 @@ func (t Type) String() string {
 		return "STATS_REQUEST"
 	case TypeStatsReply:
 		return "STATS_REPLY"
+	case TypeSessionHello:
+		return "SESSION_HELLO"
+	case TypeSessionSub:
+		return "SESSION_SUB"
+	case TypeSessionUnsub:
+		return "SESSION_UNSUB"
+	case TypeMuxDeliver:
+		return "MUX_DELIVER"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -191,6 +213,44 @@ type Deliver struct {
 	Payload     []byte
 }
 
+// SessionHello upgrades the client connection it arrives on to a
+// multiplexed session: many logical subscribers share the connection, its
+// writer pipeline and (via MuxDeliver) each delivered payload. Sent once,
+// after the Hello handshake.
+type SessionHello struct {
+	// Subscribers hints how many logical subscribers the session expects to
+	// register (0 = unknown); brokers may pre-size per-session state.
+	Subscribers uint32
+}
+
+// SessionSub subscribes one session-local subscriber ID to a topic.
+// Subscriber IDs are chosen by the client and scoped to the session.
+type SessionSub struct {
+	SubID uint32
+	Topic int32
+	// Deadline is the subscriber's QoS delay requirement for this topic.
+	Deadline time.Duration
+}
+
+// SessionUnsub removes one session-local subscriber's topic subscription.
+type SessionUnsub struct {
+	SubID uint32
+	Topic int32
+}
+
+// MuxDeliver hands one routed message to many logical subscribers of a
+// session: one payload plus the varint-encoded list of subscriber IDs it
+// serves. The aggregated form is what lets a broker's delivery cost scale
+// with distinct (topic, session) pairs instead of subscriber count.
+type MuxDeliver struct {
+	Topic       int32
+	PacketID    uint64
+	Source      int32
+	PublishedAt time.Time
+	SubIDs      []uint32
+	Payload     []byte
+}
+
 // StatsRequest asks a broker for a StatsReply. Token echoes back so
 // clients can correlate replies.
 type StatsRequest struct {
@@ -235,9 +295,14 @@ type StatsReply struct {
 	QueueDrops uint64 // messages shed by full per-connection send queues
 	Redials    uint64 // failed outbound dial attempts
 	Reconnects uint64 // neighbor links re-established after a drop
-	Neighbors  []NeighborStat
-	Routes     []RouteStat
-	Shards     []ShardStat
+	// Edge gauges: live multiplexed sessions and total logical
+	// subscriptions (legacy connection-topic pairs plus session
+	// (subscriber, topic) pairs).
+	Sessions      uint64
+	Subscriptions uint64
+	Neighbors     []NeighborStat
+	Routes        []RouteStat
+	Shards        []ShardStat
 }
 
 // interface conformance
@@ -254,6 +319,10 @@ var (
 	_ Message = (*Deliver)(nil)
 	_ Message = (*StatsRequest)(nil)
 	_ Message = (*StatsReply)(nil)
+	_ Message = (*SessionHello)(nil)
+	_ Message = (*SessionSub)(nil)
+	_ Message = (*SessionUnsub)(nil)
+	_ Message = (*MuxDeliver)(nil)
 )
 
 // Type implementations.
@@ -269,6 +338,10 @@ func (*Publish) Type() Type      { return TypePublish }
 func (*Deliver) Type() Type      { return TypeDeliver }
 func (*StatsRequest) Type() Type { return TypeStatsRequest }
 func (*StatsReply) Type() Type   { return TypeStatsReply }
+func (*SessionHello) Type() Type { return TypeSessionHello }
+func (*SessionSub) Type() Type   { return TypeSessionSub }
+func (*SessionUnsub) Type() Type { return TypeSessionUnsub }
+func (*MuxDeliver) Type() Type   { return TypeMuxDeliver }
 
 // AppendFrame appends one complete encoded frame for msg — length header,
 // type tag and body — to dst and returns the extended slice. It never
@@ -382,6 +455,10 @@ type Reader struct {
 	deliver      Deliver
 	statsRequest StatsRequest
 	statsReply   StatsReply
+	sessionHello SessionHello
+	sessionSub   SessionSub
+	sessionUnsub SessionUnsub
+	muxDeliver   MuxDeliver
 }
 
 // NewReader returns a Reader decoding frames from r.
@@ -452,6 +529,14 @@ func (rd *Reader) message(t Type) Message {
 		return &rd.statsRequest
 	case TypeStatsReply:
 		return &rd.statsReply
+	case TypeSessionHello:
+		return &rd.sessionHello
+	case TypeSessionSub:
+		return &rd.sessionSub
+	case TypeSessionUnsub:
+		return &rd.sessionUnsub
+	case TypeMuxDeliver:
+		return &rd.muxDeliver
 	default:
 		return nil
 	}
@@ -484,6 +569,14 @@ func newMessage(t Type) (Message, error) {
 		return &StatsRequest{}, nil
 	case TypeStatsReply:
 		return &StatsReply{}, nil
+	case TypeSessionHello:
+		return &SessionHello{}, nil
+	case TypeSessionSub:
+		return &SessionSub{}, nil
+	case TypeSessionUnsub:
+		return &SessionUnsub{}, nil
+	case TypeMuxDeliver:
+		return &MuxDeliver{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}
@@ -524,6 +617,18 @@ func appendNodes(dst []byte, nodes []int32) []byte {
 	dst = appendU16(dst, uint16(len(nodes)))
 	for _, n := range nodes {
 		dst = appendI32(dst, n)
+	}
+	return dst
+}
+
+// appendSubIDs encodes a subscriber-ID list as uvarint count + uvarint IDs
+// — the session tier's one variable-width encoding. Dense session-local IDs
+// are 1–2 bytes each, so a 100-subscriber aggregate costs ~1 byte per
+// subscriber instead of a whole Deliver frame each.
+func appendSubIDs(dst []byte, ids []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(id))
 	}
 	return dst
 }
@@ -587,6 +692,42 @@ func (r *reader) boolean() (bool, error) {
 		return false, err
 	}
 	return b[0] != 0, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, ErrTruncated // n == 0: buffer ran out; n < 0: overflow
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// subIDsInto decodes a varint subscriber-ID list into dst's storage,
+// mirroring nodesInto's reuse and nil semantics. The claimed count is
+// bounds-checked against the remaining buffer (every uvarint is at least
+// one byte) before any append, so a hostile length cannot force a giant
+// allocation.
+func (r *reader) subIDsInto(dst []uint32) ([]uint32, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return dst, err
+	}
+	if n > uint64(len(r.buf)) {
+		return dst, ErrTruncated
+	}
+	dst = dst[:0]
+	for i := uint64(0); i < n; i++ {
+		v, err := r.uvarint()
+		if err != nil {
+			return dst, err
+		}
+		if v > math.MaxUint32 {
+			return dst, fmt.Errorf("wire: subscriber ID %d overflows uint32", v)
+		}
+		dst = append(dst, uint32(v))
+	}
+	return dst, nil
 }
 
 // bytesInto decodes a length-prefixed blob into dst's storage (growing it
@@ -809,6 +950,8 @@ func (m *StatsReply) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.QueueDrops)
 	dst = appendU64(dst, m.Redials)
 	dst = appendU64(dst, m.Reconnects)
+	dst = appendU64(dst, m.Sessions)
+	dst = appendU64(dst, m.Subscriptions)
 	dst = appendU16(dst, uint16(len(m.Neighbors)))
 	for _, n := range m.Neighbors {
 		dst = appendI32(dst, n.ID)
@@ -860,6 +1003,12 @@ func (m *StatsReply) decode(r *reader) (err error) {
 		return err
 	}
 	if m.Reconnects, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Sessions, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Subscriptions, err = r.u64(); err != nil {
 		return err
 	}
 	m.Neighbors = m.Neighbors[:0]
@@ -958,6 +1107,78 @@ func (m *Deliver) decode(r *reader) (err error) {
 		return err
 	}
 	m.PublishedAt = time.Unix(0, ns)
+	m.Payload, err = r.bytesInto(m.Payload)
+	return err
+}
+
+func (m *SessionHello) appendBody(dst []byte) []byte { return appendU32(dst, m.Subscribers) }
+
+func (m *SessionHello) decode(r *reader) (err error) {
+	m.Subscribers, err = r.u32()
+	return err
+}
+
+func (m *SessionSub) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.SubID)
+	dst = appendI32(dst, m.Topic)
+	return appendI64(dst, int64(m.Deadline))
+}
+
+func (m *SessionSub) decode(r *reader) (err error) {
+	if m.SubID, err = r.u32(); err != nil {
+		return err
+	}
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	d, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.Deadline = time.Duration(d)
+	return nil
+}
+
+func (m *SessionUnsub) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.SubID)
+	return appendI32(dst, m.Topic)
+}
+
+func (m *SessionUnsub) decode(r *reader) (err error) {
+	if m.SubID, err = r.u32(); err != nil {
+		return err
+	}
+	m.Topic, err = r.i32()
+	return err
+}
+
+func (m *MuxDeliver) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.Topic)
+	dst = appendU64(dst, m.PacketID)
+	dst = appendI32(dst, m.Source)
+	dst = appendI64(dst, m.PublishedAt.UnixNano())
+	dst = appendSubIDs(dst, m.SubIDs)
+	return appendBytes(dst, m.Payload)
+}
+
+func (m *MuxDeliver) decode(r *reader) (err error) {
+	if m.Topic, err = r.i32(); err != nil {
+		return err
+	}
+	if m.PacketID, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Source, err = r.i32(); err != nil {
+		return err
+	}
+	ns, err := r.i64()
+	if err != nil {
+		return err
+	}
+	m.PublishedAt = time.Unix(0, ns)
+	if m.SubIDs, err = r.subIDsInto(m.SubIDs); err != nil {
+		return err
+	}
 	m.Payload, err = r.bytesInto(m.Payload)
 	return err
 }

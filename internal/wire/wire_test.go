@@ -56,6 +56,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Token: 31337, BrokerID: 2,
 			Published: 10, Delivered: 20, Forwarded: 30, Dropped: 1,
 			QueueDrops: 6, Redials: 4, Reconnects: 2,
+			Sessions: 64, Subscriptions: 100000,
 			Neighbors: []NeighborStat{
 				{ID: 1, Connected: true, Alpha: 12 * time.Millisecond, Gamma: 0.97},
 				{ID: 5, Connected: false, Alpha: 30 * time.Millisecond, Gamma: 0.4},
@@ -69,6 +70,16 @@ func TestRoundTripAllTypes(t *testing.T) {
 			},
 		},
 		&StatsReply{Token: 1, BrokerID: 0},
+		&SessionHello{Subscribers: 100000},
+		&SessionHello{},
+		&SessionSub{SubID: 12345, Topic: 7, Deadline: 250 * time.Millisecond},
+		&SessionUnsub{SubID: 12345, Topic: 7},
+		&MuxDeliver{
+			Topic: 4, PacketID: 77, Source: 2, PublishedAt: at,
+			SubIDs:  []uint32{0, 1, 127, 128, 1 << 20},
+			Payload: []byte("shared payload"),
+		},
+		&MuxDeliver{PacketID: 1, PublishedAt: time.Unix(0, 0)},
 	}
 	for _, msg := range tests {
 		t.Run(msg.Type().String(), func(t *testing.T) {
@@ -167,6 +178,8 @@ func TestTypeStrings(t *testing.T) {
 		TypeHello: "HELLO", TypeData: "DATA", TypeAck: "ACK",
 		TypeAdvert: "ADVERT", TypePing: "PING", TypePong: "PONG",
 		TypeSubscribe: "SUBSCRIBE", TypePublish: "PUBLISH", TypeDeliver: "DELIVER",
+		TypeSessionHello: "SESSION_HELLO", TypeSessionSub: "SESSION_SUB",
+		TypeSessionUnsub: "SESSION_UNSUB", TypeMuxDeliver: "MUX_DELIVER",
 	} {
 		if ty.String() != want {
 			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
