@@ -64,6 +64,8 @@ func printStats(out io.Writer, r *wire.StatsReply) {
 		r.QueueDrops, r.Redials, r.Reconnects)
 	fmt.Fprintf(out, "  edge: %d mux sessions, %d subscriptions\n",
 		r.Sessions, r.Subscriptions)
+	fmt.Fprintf(out, "  relay aggregation: %d ack batches (%d acks coalesced), %d bytes saved\n",
+		r.AckBatches, r.AckFramesCoalesced, r.RelayBytesSaved)
 	if len(r.Shards) > 0 {
 		fmt.Fprintln(out, "shards:")
 		for i, sh := range r.Shards {

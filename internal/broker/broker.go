@@ -80,6 +80,20 @@ type Config struct {
 	// feeding each writer pipeline; a full queue drops messages after a
 	// brief backpressure wait instead of blocking the sender.
 	SendQueue int
+	// DisableRelayBatch turns off relay-plane link aggregation: the broker
+	// neither advertises wire.CapRelayBatch in its Hello nor emits
+	// AckBatch/DataBatch frames, and every received DATA is answered with an
+	// immediate legacy Ack. Aggregation is on by default and negotiated per
+	// link, so mixed overlays with legacy brokers need no configuration.
+	DisableRelayBatch bool
+	// AckBatchSize flushes a neighbor's coalesced hop-by-hop ACKs once this
+	// many are pending, even if the flush timer has not fired (default 64).
+	AckBatchSize int
+	// AckFlushInterval bounds how long a coalesced ACK may wait before its
+	// batch is flushed (default 1ms). It must stay well inside the sender's
+	// ACK timeout (2*alpha + AckGuard), or delayed ACKs would read as link
+	// loss; the default sits 20x under the default AckGuard alone.
+	AckFlushInterval time.Duration
 	// DefaultDeadline applies to publishes that do not carry a deadline.
 	DefaultDeadline time.Duration
 	// Shards is the number of single-threaded engine shards the data plane
@@ -132,6 +146,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SendQueue < 1 {
 		c.SendQueue = defaultSendQueue
+	}
+	if c.AckBatchSize < 1 {
+		c.AckBatchSize = 64
+	}
+	if c.AckFlushInterval <= 0 {
+		c.AckFlushInterval = time.Millisecond
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = time.Second
@@ -218,6 +238,13 @@ type Broker struct {
 	// fan-out benchmark reads these to measure aggregation gains.
 	wireFrames atomic.Uint64
 	wireBytes  atomic.Uint64
+
+	// Relay-aggregation telemetry: AckBatch frames emitted, legacy Ack
+	// frames they replaced, and encoded bytes saved versus the legacy
+	// framing (ACK and DATA batching combined).
+	ackBatches         atomic.Uint64
+	ackFramesCoalesced atomic.Uint64
+	relayBytesSaved    atomic.Uint64
 }
 
 // routeSnapshot is the data plane's immutable view of the Algorithm-1
@@ -471,6 +498,11 @@ type Stats struct {
 	// Edge-tier gauges (not counters): current level, not cumulative.
 	Sessions      uint64 // live multiplexed client sessions
 	Subscriptions uint64 // live logical subscriptions (legacy + session)
+	// Relay-aggregation counters: zero on legacy-only links or with
+	// Config.DisableRelayBatch set.
+	AckBatches         uint64 // AckBatch frames sent to neighbors
+	AckFramesCoalesced uint64 // legacy Ack frames those batches replaced
+	RelayBytesSaved    uint64 // encoded bytes saved vs legacy relay framing
 }
 
 // Stats returns the current counters. All counters are atomic, so this
@@ -487,6 +519,10 @@ func (b *Broker) Stats() Stats {
 
 		Sessions:      uint64(b.sessionsGauge.Load()),
 		Subscriptions: uint64(b.subscriptionsGauge.Load()),
+
+		AckBatches:         b.ackBatches.Load(),
+		AckFramesCoalesced: b.ackFramesCoalesced.Load(),
+		RelayBytesSaved:    b.relayBytesSaved.Load(),
 	}
 }
 
@@ -524,6 +560,10 @@ func (b *Broker) statsReply(token uint64) *wire.StatsReply {
 
 		Sessions:      uint64(b.sessionsGauge.Load()),
 		Subscriptions: uint64(b.subscriptionsGauge.Load()),
+
+		AckBatches:         b.ackBatches.Load(),
+		AckFramesCoalesced: b.ackFramesCoalesced.Load(),
+		RelayBytesSaved:    b.relayBytesSaved.Load(),
 	}
 
 	// Per-shard stats: a barrier run gives an on-shard view (mailbox depth

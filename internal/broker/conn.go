@@ -76,6 +76,17 @@ func newConnWriter(conn net.Conn, queueLen int, drops *atomic.Uint64) *connWrite
 // from any goroutine.
 func (w *connWriter) shutdown() { w.once.Do(func() { close(w.stop) }) }
 
+// kick wakes the writer goroutine without enqueueing a message (a nil queue
+// entry is a pure wakeup). Used by the ACK coalescer: the writer drains the
+// pending coalesced ACKs on every wakeup. Best-effort — if the queue is
+// full the writer is awake anyway.
+func (w *connWriter) kick() {
+	select {
+	case w.queue <- nil:
+	default:
+	}
+}
+
 // send enqueues one message for the writer. A full queue is given a brief
 // grace period (backpressure) and then the message is dropped with
 // errSendQueueFull; the connection itself stays up — Algorithm 2's
@@ -111,9 +122,55 @@ func (w *connWriter) send(msg wire.Message) error {
 // queued message (up to maxFlushBytes) into one reused buffer and issues a
 // single conn.Write. A write error ends the writer and runs onExit, which
 // drops the connection so the dial loop can re-establish it.
-func (b *Broker) runWriter(w *connWriter, label string, onExit func()) {
+//
+// For neighbor links (nc != nil) the writer is also the relay-aggregation
+// point: when the link negotiated wire.CapRelayBatch, consecutive queued
+// Data messages are packed into DataBatch frames, and every flush drains
+// the neighbor's coalesced-ACK set into one AckBatch frame. Pooled
+// messages (wire.Data, wire.MuxDeliver) are recycled after encoding.
+func (b *Broker) runWriter(w *connWriter, label string, nc *neighborConn, onExit func()) {
 	defer onExit()
 	buf := make([]byte, 0, writerBufCap)
+	var (
+		batch       wire.DataBatch // consecutive Data frames for a batch peer
+		batchLegacy int            // their legacy encoded size (telemetry)
+		release     []wire.Message // pooled messages to recycle after encode
+		ackIDs      []uint64       // coalesced-ACK drain scratch
+	)
+	flushBatch := func() {
+		if len(batch.Frames) == 0 {
+			return
+		}
+		base := len(buf)
+		buf = b.appendFrameChecked(buf, label, &batch)
+		if sz := len(buf) - base; sz > 0 && batchLegacy > sz {
+			b.relayBytesSaved.Add(uint64(batchLegacy - sz))
+		}
+		// The entries alias slices owned by pooled messages in release;
+		// drop the references so the scratch batch cannot pin them.
+		for i := range batch.Frames {
+			batch.Frames[i] = wire.Data{}
+		}
+		batch.Frames = batch.Frames[:0]
+		batchLegacy = 0
+	}
+	appendMsg := func(msg wire.Message) {
+		if msg == nil { // kick(): pure wakeup for the ACK coalescer
+			return
+		}
+		if d, ok := msg.(*wire.Data); ok && nc.batchTo(b) {
+			batch.Frames = append(batch.Frames, *d)
+			batchLegacy += legacyDataBytes(d)
+			release = append(release, msg)
+			if len(batch.Frames) >= dataBatchMaxFrames {
+				flushBatch()
+			}
+			return
+		}
+		flushBatch() // keep wire order: earlier Data goes first
+		buf = b.appendFrameChecked(buf, label, msg)
+		release = append(release, msg)
+	}
 	for {
 		var msg wire.Message
 		select {
@@ -121,16 +178,30 @@ func (b *Broker) runWriter(w *connWriter, label string, onExit func()) {
 			return
 		case msg = <-w.queue:
 		}
-		buf = b.appendFrameChecked(buf[:0], label, msg)
+		buf = buf[:0]
+		appendMsg(msg)
 	fill:
-		for len(buf) < maxFlushBytes {
+		for len(buf)+batchLegacy < maxFlushBytes {
 			select {
 			case m := <-w.queue:
-				buf = b.appendFrameChecked(buf, label, m)
+				appendMsg(m)
 			default:
 				break fill
 			}
 		}
+		flushBatch()
+		if nc != nil {
+			if ackIDs = nc.takeAcks(ackIDs); len(ackIDs) > 0 {
+				buf = b.appendAckBatch(buf, label, ackIDs)
+			}
+		}
+		// Every batched entry is encoded (or dropped) by now; recycle the
+		// pooled messages.
+		for i, m := range release {
+			releaseMsg(m)
+			release[i] = nil
+		}
+		release = release[:0]
 		if len(buf) == 0 {
 			continue
 		}
@@ -181,6 +252,16 @@ type neighborConn struct {
 	alpha    time.Duration
 	gamma    float64
 	lastPing map[uint64]time.Time
+
+	// Relay-plane aggregation state (see relay.go). peerBatch records
+	// whether the currently attached peer advertised wire.CapRelayBatch in
+	// its Hello; pendingAcks is the coalesced hop-by-hop ACK set drained by
+	// the writer, with ackFlushTimer bounding how long an ACK may sit
+	// (always far inside the sender's retransmit timeout).
+	peerBatch     atomic.Bool
+	ackMu         sync.Mutex
+	pendingAcks   []uint64
+	ackFlushTimer *time.Timer
 }
 
 // Link-estimate tuning.
@@ -228,6 +309,7 @@ func (nc *neighborConn) connected() bool {
 // attach installs a TCP connection, replacing any previous one, and starts
 // its writer pipeline.
 func (nc *neighborConn) attach(b *Broker, conn net.Conn) {
+	nc.resetRelay()
 	w := newConnWriter(conn, b.cfg.SendQueue, &b.queueDrops)
 	nc.mu.Lock()
 	old, oldW := nc.conn, nc.w
@@ -245,7 +327,7 @@ func (nc *neighborConn) attach(b *Broker, conn net.Conn) {
 		_ = old.Close()
 	}
 	b.goTracked(func() {
-		b.runWriter(w, fmt.Sprintf("neighbor %d", nc.id), func() { nc.detach(conn) })
+		b.runWriter(w, fmt.Sprintf("neighbor %d", nc.id), nc, func() { nc.detach(conn) })
 	})
 	// A dial or inbound handshake that completes while Close is tearing
 	// links down can install this connection after Close's pass over
@@ -275,6 +357,7 @@ func (nc *neighborConn) detach(conn net.Conn) {
 
 // close tears the link down.
 func (nc *neighborConn) close() {
+	nc.resetRelay()
 	nc.mu.Lock()
 	conn, w := nc.conn, nc.w
 	nc.conn, nc.w = nil, nil
@@ -410,14 +493,18 @@ func (b *Broker) handleInbound(conn net.Conn) {
 		return
 	}
 	if hello.BrokerID >= 0 {
-		b.handleNeighborConn(int(hello.BrokerID), conn)
+		b.handleNeighborConn(int(hello.BrokerID), hello.Name, conn)
 		return
 	}
 	b.handleClientConn(hello.Name, conn)
 }
 
 // handleNeighborConn registers an inbound broker link and pumps its frames.
-func (b *Broker) handleNeighborConn(id int, conn net.Conn) {
+// The dialer's Hello Name carries its capability tokens; the acceptor
+// records them and replies with its own Hello so the dialer learns this
+// side's capabilities too (legacy dialers log the unexpected HELLO and
+// carry on with the legacy framing).
+func (b *Broker) handleNeighborConn(id int, name string, conn net.Conn) {
 	if _, known := b.cfg.Neighbors[id]; !known {
 		b.logf("rejecting unknown neighbor %d", id)
 		_ = conn.Close()
@@ -425,6 +512,8 @@ func (b *Broker) handleNeighborConn(id int, conn net.Conn) {
 	}
 	nc := b.neighbor(id)
 	nc.attach(b, conn)
+	nc.peerBatch.Store(wire.HasCap(name, wire.CapRelayBatch))
+	_ = nc.send(&wire.Hello{BrokerID: int32(b.cfg.ID), Name: b.helloName()})
 	b.logf("neighbor %d connected (inbound)", id)
 	b.readNeighbor(nc, conn)
 }
@@ -471,7 +560,7 @@ func (b *Broker) dialLoop(id int, addr string) {
 			}
 			continue
 		}
-		if err := wire.Write(conn, &wire.Hello{BrokerID: int32(b.cfg.ID), Name: "broker"}); err != nil {
+		if err := wire.Write(conn, &wire.Hello{BrokerID: int32(b.cfg.ID), Name: b.helloName()}); err != nil {
 			_ = conn.Close()
 			if !fail() {
 				return
@@ -516,9 +605,23 @@ func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 		b.handleAdvert(nc.id, m)
 	case *wire.Ack:
 		b.handleAck(m.FrameID)
+	case *wire.AckBatch:
+		for _, id := range m.FrameIDs {
+			b.handleAck(id)
+		}
 	case *wire.Data:
-		_ = nc.send(&wire.Ack{FrameID: m.FrameID})
+		b.ackData(nc, m.FrameID)
 		b.handleData(nc.id, m)
+	case *wire.DataBatch:
+		for i := range m.Frames {
+			d := &m.Frames[i]
+			b.ackData(nc, d.FrameID)
+			b.handleData(nc.id, d)
+		}
+	case *wire.Hello:
+		// The acceptor's Hello reply: learn the peer's capabilities (the
+		// dialer's own capability tokens went out with dialLoop's Hello).
+		nc.peerBatch.Store(wire.HasCap(m.Name, wire.CapRelayBatch))
 	default:
 		b.logf("neighbor %d sent unexpected %v", nc.id, msg.Type())
 	}
@@ -538,7 +641,7 @@ func (b *Broker) handleClientConn(name string, conn net.Conn) {
 	b.clients[c] = struct{}{}
 	b.mu.Unlock()
 	b.goTracked(func() {
-		b.runWriter(c.w, "client "+name, func() { _ = conn.Close() })
+		b.runWriter(c.w, "client "+name, nil, func() { _ = conn.Close() })
 	})
 	defer func() {
 		b.mu.Lock()

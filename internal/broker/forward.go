@@ -149,15 +149,18 @@ func (b *Broker) deliver(led *topicLedger, msg *wire.Deliver) {
 	}
 	for i := range led.sessions {
 		sd := &led.sessions[i]
-		mux := &wire.MuxDeliver{
-			Topic:       msg.Topic,
-			PacketID:    msg.PacketID,
-			Source:      msg.Source,
-			PublishedAt: msg.PublishedAt,
-			SubIDs:      sd.subIDs,
-			Payload:     msg.Payload,
-		}
+		// Each MuxDeliver has exactly one owner (one session writer), so the
+		// struct comes from a pool: the writer recycles it after encoding
+		// (releaseMsg), and a failed send recycles it here.
+		mux := getMuxDeliver()
+		mux.Topic = msg.Topic
+		mux.PacketID = msg.PacketID
+		mux.Source = msg.Source
+		mux.PublishedAt = msg.PublishedAt
+		mux.SubIDs = sd.subIDs
+		mux.Payload = msg.Payload
 		if err := sd.c.send(mux); err != nil {
+			releaseMsg(mux)
 			b.logf("mux deliver to %q: %v", sd.c.name, err)
 			continue
 		}

@@ -1,0 +1,338 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// newRelayChain builds a line overlay 0 — 1 — … — n-1 on localhost, with an
+// optional per-broker config tweak (the relay benchmarks flip
+// DisableRelayBatch through it).
+func newRelayChain(tb testing.TB, n int, tweak func(id int, cfg *Config)) []*Broker {
+	tb.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	brokers := make([]*Broker, 0, n)
+	for i := 0; i < n; i++ {
+		neighbors := make(map[int]string)
+		if i > 0 {
+			neighbors[i-1] = addrs[i-1]
+		}
+		if i < n-1 {
+			neighbors[i+1] = addrs[i+1]
+		}
+		cfg := Config{
+			ID:              i,
+			Listen:          addrs[i],
+			Neighbors:       neighbors,
+			PingInterval:    50 * time.Millisecond,
+			AdvertInterval:  50 * time.Millisecond,
+			DialRetry:       20 * time.Millisecond,
+			AckGuard:        40 * time.Millisecond,
+			DefaultDeadline: 5 * time.Second,
+			Shards:          4,
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		b, err := New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := b.StartListener(listeners[i]); err != nil {
+			tb.Fatal(err)
+		}
+		brokers = append(brokers, b)
+	}
+	tb.Cleanup(func() {
+		for _, b := range brokers {
+			_ = b.Close()
+		}
+	})
+	return brokers
+}
+
+// waitForRoute blocks until broker b has a sending list toward subscriber
+// broker sub for topic.
+func waitForRoute(tb testing.TB, b *Broker, topic int32, sub int32) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b.mu.Lock()
+		ok := len(b.sendingListLocked(topic, sub)) > 0
+		b.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("no route to (%d, %d)", topic, sub)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkRelayChain measures what relay-plane link aggregation exists to
+// optimize: the per-packet wire cost of pushing a published stream across a
+// 3-broker chain 0 → 1 → 2 to a subscriber on the far end.
+//
+//   - legacy: DisableRelayBatch on every broker — each relay hop costs one
+//     DATA frame plus one returning ACK frame per packet (the pre-batching
+//     protocol, also what any legacy peer negotiates).
+//   - batch: default config — consecutive DATA frames per neighbor coalesce
+//     into delta-compressed DATA_BATCH frames and hop-by-hop ACKs return as
+//     coalesced ACK_BATCH frames.
+//
+// frames/packet and bytes/packet are writer-path egress summed across all
+// three brokers (the subscriber-facing Deliver frames included, identical
+// in both modes); batch mode must cut frames/packet by >= 2x
+// (BENCH_baseline.json records the gap).
+func BenchmarkRelayChain(b *testing.B) {
+	for _, mode := range []string{"legacy", "batch"} {
+		b.Run(mode, func(b *testing.B) {
+			benchRelayChain(b, mode)
+		})
+	}
+}
+
+func benchRelayChain(b *testing.B, mode string) {
+	const topic = int32(3)
+	brokers := newRelayChain(b, 3, func(id int, cfg *Config) {
+		if mode == "legacy" {
+			cfg.DisableRelayBatch = true
+		}
+	})
+	last := brokers[len(brokers)-1]
+
+	// Legacy subscriber on the far end, counting deliveries straight off the
+	// socket so the benchmark can wait for exact totals.
+	var got atomic.Uint64
+	conn, err := net.DialTimeout("tcp", last.cfg.Listen, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.Write(conn, &wire.Hello{BrokerID: -1, Name: "chain-sub"}); err != nil {
+		b.Fatal(err)
+	}
+	if err := wire.Write(conn, &wire.Subscribe{Topic: topic, Deadline: 5 * time.Second}); err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		rd := wire.NewReader(bufio.NewReaderSize(conn, readBufSize))
+		for {
+			msg, err := rd.Next()
+			if err != nil {
+				return
+			}
+			if _, ok := msg.(*wire.Deliver); ok {
+				got.Add(1)
+			}
+		}
+	}()
+	waitForRoute(b, brokers[0], topic, int32(last.cfg.ID))
+
+	pub, err := Dial(brokers[0].cfg.Listen, "chain-pub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+
+	payload := make([]byte, 64)
+	// Keep enough packets in flight that writer wakeups see several queued
+	// DATA frames (that concurrency is what batching coalesces), but well
+	// under the per-connection send queues so nothing is dropped and the
+	// exact delivery accounting below holds.
+	const maxInflight = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frames0, bytes0 uint64
+	for _, bk := range brokers {
+		frames0 += bk.wireFrames.Load()
+		bytes0 += bk.wireBytes.Load()
+	}
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish(topic, 5*time.Second, payload); err != nil {
+			b.Fatal(err)
+		}
+		for uint64(i+1)-got.Load() > maxInflight {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	want := uint64(b.N)
+	doneBy := time.Now().Add(30 * time.Second)
+	for got.Load() < want {
+		if time.Now().After(doneBy) {
+			b.Fatalf("received %d/%d deliveries", got.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	var frames, bytes uint64
+	for _, bk := range brokers {
+		frames += bk.wireFrames.Load()
+		bytes += bk.wireBytes.Load()
+	}
+	frames -= frames0
+	bytes -= bytes0
+	b.ReportMetric(float64(bytes)/float64(want), "bytes/packet")
+	b.ReportMetric(float64(frames)/float64(want), "frames/packet")
+	b.ReportMetric(float64(want)/elapsed.Seconds(), "packets/sec")
+}
+
+// TestRelayChainBatchGain pins the tentpole acceptance numbers outside the
+// benchmark harness: across a 3-broker relay chain, negotiated link
+// aggregation must put at least 2x fewer frames per delivered packet on the
+// wire than the legacy framing, and measurably fewer encoded bytes.
+func TestRelayChainBatchGain(t *testing.T) {
+	measure := func(mode string) (bytesPer, framesPer float64) {
+		res := testing.Benchmark(func(b *testing.B) { benchRelayChain(b, mode) })
+		return res.Extra["bytes/packet"], res.Extra["frames/packet"]
+	}
+	legacyBytes, legacyFrames := measure("legacy")
+	batchBytes, batchFrames := measure("batch")
+	t.Logf("legacy: %.1f bytes/packet, %.2f frames/packet", legacyBytes, legacyFrames)
+	t.Logf("batch:  %.1f bytes/packet, %.2f frames/packet", batchBytes, batchFrames)
+	if batchBytes <= 0 || batchFrames <= 0 {
+		t.Fatalf("batch mode reported no wire traffic")
+	}
+	if gain := legacyFrames / batchFrames; gain < 2 {
+		t.Errorf("frames/packet gain = %.2fx, want >= 2x", gain)
+	}
+	if gain := legacyBytes / batchBytes; gain < 1.1 {
+		t.Errorf("bytes/packet gain = %.2fx, want >= 1.1x", gain)
+	}
+}
+
+// TestRelayLegacyInterop runs a mixed overlay: broker 2 never advertises
+// the relay-batch capability (DisableRelayBatch models a legacy build), so
+// link 0—1 negotiates aggregation while link 1—2 must stay on the legacy
+// one-frame-per-packet protocol in both directions. Every packet still
+// arrives exactly once, with no stalls.
+func TestRelayLegacyInterop(t *testing.T) {
+	const topic, total = int32(6), uint32(60)
+	brokers := newRelayChain(t, 3, func(id int, cfg *Config) {
+		if id == 2 {
+			cfg.DisableRelayBatch = true
+		}
+	})
+
+	sub, err := Dial(brokers[2].cfg.Listen, "legacy-sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(topic, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[uint32]int)
+	go func() {
+		for d := range sub.Receive() {
+			if len(d.Payload) != 4 {
+				continue
+			}
+			mu.Lock()
+			seen[binary.BigEndian.Uint32(d.Payload)]++
+			mu.Unlock()
+		}
+	}()
+	waitForRoute(t, brokers[0], topic, 2)
+
+	pub, err := Dial(brokers[0].cfg.Listen, "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for s := uint32(0); s < total; s++ {
+		var payload [4]byte
+		binary.BigEndian.PutUint32(payload[:], s)
+		if err := pub.Publish(topic, 5*time.Second, payload[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "all packets across the mixed chain", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for s := uint32(0); s < total; s++ {
+			if seen[s] == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	for s, n := range seen {
+		if n > 1 {
+			t.Errorf("sequence %d delivered %d times", s, n)
+		}
+	}
+	mu.Unlock()
+
+	// The capable link actually aggregated and the legacy link actually did
+	// not: broker 1 coalesced its ACKs back to broker 0, broker 0 saved
+	// bytes batching DATA toward 1, and broker 2 (legacy) emitted neither.
+	waitFor(t, 5*time.Second, "relay counters settling", func() bool {
+		return brokers[1].Stats().AckBatches > 0
+	})
+	if st := brokers[0].Stats(); st.RelayBytesSaved == 0 {
+		t.Error("broker 0 recorded no relay bytes saved over the batch-capable link")
+	}
+	if st := brokers[2].Stats(); st.AckBatches != 0 || st.AckFramesCoalesced != 0 || st.RelayBytesSaved != 0 {
+		t.Errorf("legacy broker 2 used batch framing: %+v", st)
+	}
+}
+
+// TestMuxDeliverPooledDeliveryAllocs pins the deliver() satellite: pushing
+// one packet to a multiplexed session allocates nothing in steady state —
+// the MuxDeliver comes from the writer-path pool and goes back after the
+// writer (drained by hand here, no goroutine) encodes it.
+func TestMuxDeliverPooledDeliveryAllocs(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := New(Config{ID: 1, Listen: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Close()
+	if err := bk.StartListener(ln); err != nil {
+		t.Fatal(err)
+	}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	c := &clientConn{name: "sess", conn: server, w: newConnWriter(server, 8, nil)}
+	led := &topicLedger{sessions: []sessionDelivery{{c: c, subIDs: []uint32{1, 2, 3}}}}
+	msg := &wire.Deliver{
+		Topic: 1, PacketID: 42, Source: 1,
+		PublishedAt: time.Unix(0, 123456789),
+		Payload:     []byte("pooled payload"),
+	}
+	deliverOnce := func() {
+		bk.deliver(led, msg)
+		releaseMsg(<-c.w.queue)
+	}
+	deliverOnce() // warm the pool
+	if allocs := testing.AllocsPerRun(200, deliverOnce); allocs != 0 {
+		t.Errorf("session delivery allocates %.1f objects/packet in steady state, want 0", allocs)
+	}
+}

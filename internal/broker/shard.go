@@ -348,9 +348,10 @@ func (sh shardShell) AckWait(k int) (time.Duration, bool) {
 
 // Send encodes one engine frame as a wire.Data and hands it to the
 // neighbor's writer pipeline (already safe for concurrent senders). The
-// pooled frame is only valid until return while the pipeline retains its
-// message, so the wire message is built fresh per attempt; the payload
-// []byte is stable (copied once on receipt) and shared.
+// engine frame is only valid until return while the pipeline retains its
+// message, so the wire message is built fresh per attempt — from the pool,
+// recycled by the writer after encoding; the payload []byte is stable
+// (copied once on receipt) and shared.
 func (sh shardShell) Send(f *algo2.Frame) {
 	b := sh.s.b
 	nc := b.neighbors[f.To]
@@ -358,24 +359,22 @@ func (sh shardShell) Send(f *algo2.Frame) {
 		return // no such neighbor; the ACK timer will fail the copy over
 	}
 	b.forwarded.Add(1)
-	msg := &wire.Data{
-		FrameID:     f.ID,
-		PacketID:    f.Pkt.ID,
-		Topic:       f.Pkt.Topic,
-		Source:      f.Pkt.Source,
-		PublishedAt: b.epoch.Add(f.Pkt.PublishedAt),
-		Deadline:    f.Pkt.Deadline,
-		Dests:       make([]int32, len(f.Dests)),
-		Path:        make([]int32, len(f.Path)),
-		Payload:     f.Pkt.Payload.([]byte),
+	msg := getDataFrame()
+	msg.FrameID = f.ID
+	msg.PacketID = f.Pkt.ID
+	msg.Topic = f.Pkt.Topic
+	msg.Source = f.Pkt.Source
+	msg.PublishedAt = b.epoch.Add(f.Pkt.PublishedAt)
+	msg.Deadline = f.Pkt.Deadline
+	msg.Payload = f.Pkt.Payload.([]byte)
+	for _, d := range f.Dests {
+		msg.Dests = append(msg.Dests, int32(d))
 	}
-	for i, d := range f.Dests {
-		msg.Dests[i] = int32(d)
-	}
-	for i, p := range f.Path {
-		msg.Path[i] = int32(p)
+	for _, p := range f.Path {
+		msg.Path = append(msg.Path, int32(p))
 	}
 	if err := nc.send(msg); err != nil {
+		releaseMsg(msg)
 		b.logf("send frame %d to %d: %v", f.ID, f.To, err)
 	}
 }

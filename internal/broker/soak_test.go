@@ -361,6 +361,22 @@ func runChaosSoak(t *testing.T, seed uint64, perPhase uint32) {
 	if reconnects == 0 {
 		t.Error("no reconnects recorded despite resets and a restart")
 	}
+	// The soak ran with relay-plane aggregation negotiated on every link
+	// (default config both sides), so the exactly-once result above also
+	// certifies coalesced ACKs and batch framing under churn — provided the
+	// machinery actually engaged.
+	var ackBatches, relaySaved uint64
+	for _, b := range o.brokers {
+		st := b.Stats()
+		ackBatches += st.AckBatches
+		relaySaved += st.RelayBytesSaved
+	}
+	if ackBatches == 0 {
+		t.Error("no coalesced ACK batches despite relay batching enabled overlay-wide")
+	}
+	if relaySaved == 0 {
+		t.Error("no relay bytes saved despite relay batching enabled overlay-wide")
+	}
 
 	for _, c := range subClients {
 		_ = c.Close()

@@ -51,6 +51,21 @@ func FuzzWireRead(f *testing.F) {
 	// An Advert whose R field is NaN — fuzz-found: NaN sinks DeepEqual
 	// comparisons even when both decoders agree bit-for-bit.
 	f.Add(AppendFrame(nil, &Advert{Topic: 1, Sub: 2, D: 3, R: math.NaN()}))
+	// Relay-batch tier: a zero-length AckBatch (decoders must reject)...
+	f.Add([]byte{0, 0, 0, 2, byte(TypeAckBatch), 0})
+	// ...an AckBatch whose claimed count (uvarint 200) exceeds the body...
+	f.Add([]byte{0, 0, 0, 3, byte(TypeAckBatch), 0xC8, 0x01})
+	// ...and one whose single delta is an overlong (>10 byte) varint.
+	f.Add(append([]byte{0, 0, 0, 13, byte(TypeAckBatch), 1},
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02))
+	// A zero-length DataBatch, a DataBatch claiming 200 entries in an empty
+	// body, and one whose first Dests delta reconstructs a node beyond int32.
+	f.Add([]byte{0, 0, 0, 2, byte(TypeDataBatch), 0})
+	f.Add([]byte{0, 0, 0, 3, byte(TypeDataBatch), 0xC8, 0x01})
+	overflow := []byte{byte(TypeDataBatch), 1, 0, 0, 0, 0, 0, 0, 1}
+	overflow = binary.AppendVarint(overflow, int64(math.MaxInt32)+1)
+	overflow = append(overflow, 0, 0) // empty Path, empty Payload
+	f.Add(append(binary.BigEndian.AppendUint32(nil, uint32(len(overflow))), overflow...))
 
 	// equal is DeepEqual with a fallback for frames carrying NaN floats
 	// (an Advert's R is decoded straight from the wire, and arbitrary input

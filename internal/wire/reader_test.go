@@ -46,6 +46,7 @@ func allTypesCorpus() []Message {
 				{Depth: 2, Enqueued: 64, Processed: 62, Inflight: 5},
 			},
 			Sessions: 8, Subscriptions: 1000,
+			AckBatches: 5, AckFramesCoalesced: 320, RelayBytesSaved: 4096,
 		},
 		&StatsReply{Token: 1},
 		&SessionHello{Subscribers: 1000},
@@ -55,6 +56,23 @@ func allTypesCorpus() []Message {
 			Topic: 4, PacketID: 78, Source: 2, PublishedAt: at,
 			SubIDs: []uint32{3, 17, 300}, Payload: []byte("agg"),
 		},
+		&AckBatch{FrameIDs: []uint64{12345678901234}},
+		&AckBatch{FrameIDs: []uint64{1, 2, 3, 900, 1 << 60}},
+		&DataBatch{Frames: []Data{
+			{
+				FrameID: 42, PacketID: 99, Topic: 3, Source: 1,
+				PublishedAt: at, Deadline: 150 * time.Millisecond,
+				Dests: []int32{2, 5, 9}, Path: []int32{1, 4, 1},
+				Payload: []byte("position report"),
+			},
+			{
+				FrameID: 43, PacketID: 100, Topic: 3, Source: 1,
+				PublishedAt: at.Add(time.Millisecond), Deadline: 150 * time.Millisecond,
+				Dests: []int32{2, 5, 9}, Path: []int32{1, 4, 1},
+				Payload: []byte("p2"),
+			},
+		}},
+		&DataBatch{Frames: []Data{{FrameID: 1, PacketID: 2, PublishedAt: time.Unix(0, 0)}}},
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"sync"
 	"time"
 )
@@ -74,6 +75,14 @@ const (
 	// session at once (one frame per (topic, session) instead of one per
 	// subscriber).
 	TypeMuxDeliver
+	// TypeAckBatch acknowledges many TypeData frames in one wire frame
+	// (relay-plane ACK coalescing). Only sent to peers that advertised
+	// CapRelayBatch in their Hello.
+	TypeAckBatch
+	// TypeDataBatch packs several same-neighbor TypeData frames into one
+	// wire frame with delta-compressed headers and node lists. Only sent to
+	// peers that advertised CapRelayBatch in their Hello.
+	TypeDataBatch
 )
 
 // String returns the message type name.
@@ -111,6 +120,10 @@ func (t Type) String() string {
 		return "SESSION_UNSUB"
 	case TypeMuxDeliver:
 		return "MUX_DELIVER"
+	case TypeAckBatch:
+		return "ACK_BATCH"
+	case TypeDataBatch:
+		return "DATA_BATCH"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -140,7 +153,34 @@ type Hello struct {
 	// BrokerID is the sender's broker ID, or -1 for clients.
 	BrokerID int32
 	// Name is a free-form peer name (client identifier, broker label).
+	// Brokers additionally carry space-separated capability tokens here
+	// (see CapRelayBatch): the field predates capabilities, so reusing it
+	// keeps the Hello wire format byte-identical for legacy peers.
 	Name string
+}
+
+// CapRelayBatch is the Hello.Name capability token advertising that the
+// sender understands AckBatch and DataBatch frames. A broker never emits
+// either frame type to a peer that did not advertise the token — an
+// unknown frame type errors a legacy reader and drops the connection.
+const CapRelayBatch = "cap:relay-batch"
+
+// AddCap appends a capability token to a Hello name.
+func AddCap(name, token string) string {
+	if name == "" {
+		return token
+	}
+	return name + " " + token
+}
+
+// HasCap reports whether a Hello name carries a capability token.
+func HasCap(name, token string) bool {
+	for _, f := range strings.Fields(name) {
+		if f == token {
+			return true
+		}
+	}
+	return false
 }
 
 // Data carries one routed copy of a published packet.
@@ -159,6 +199,25 @@ type Data struct {
 // Ack acknowledges a Data frame hop-by-hop.
 type Ack struct {
 	FrameID uint64
+}
+
+// AckBatch acknowledges many Data frames in one wire frame. Frame IDs are
+// encoded as a uvarint count followed by zigzag-varint deltas between
+// consecutive IDs (the first delta is from zero); senders sort the IDs
+// ascending, and consecutive frame IDs from one shard differ by one, so a
+// typical entry costs 1–2 bytes against Ack's fixed 13-byte frame.
+type AckBatch struct {
+	FrameIDs []uint64
+}
+
+// DataBatch packs several Data frames bound for the same neighbor into one
+// wire frame. Every header field is a varint delta against the previous
+// entry (the first entry deltas from zero), and the Dests/Path node lists
+// are uvarint counts with intra-list zigzag deltas — consecutive frames of
+// one flow share topic, source, deadline and routing, so the repeated
+// fields collapse to one byte each.
+type DataBatch struct {
+	Frames []Data
 }
 
 // Advert shares one (topic, subscriber broker) <d, r> estimate.
@@ -300,7 +359,12 @@ type StatsReply struct {
 	// (subscriber, topic) pairs).
 	Sessions      uint64
 	Subscriptions uint64
-	Neighbors     []NeighborStat
+	// Relay-aggregation counters: AckBatch frames sent, legacy Acks they
+	// replaced, and encoded bytes saved versus the legacy relay framing.
+	AckBatches         uint64
+	AckFramesCoalesced uint64
+	RelayBytesSaved    uint64
+	Neighbors          []NeighborStat
 	Routes        []RouteStat
 	Shards        []ShardStat
 }
@@ -323,6 +387,8 @@ var (
 	_ Message = (*SessionSub)(nil)
 	_ Message = (*SessionUnsub)(nil)
 	_ Message = (*MuxDeliver)(nil)
+	_ Message = (*AckBatch)(nil)
+	_ Message = (*DataBatch)(nil)
 )
 
 // Type implementations.
@@ -342,6 +408,8 @@ func (*SessionHello) Type() Type { return TypeSessionHello }
 func (*SessionSub) Type() Type   { return TypeSessionSub }
 func (*SessionUnsub) Type() Type { return TypeSessionUnsub }
 func (*MuxDeliver) Type() Type   { return TypeMuxDeliver }
+func (*AckBatch) Type() Type     { return TypeAckBatch }
+func (*DataBatch) Type() Type    { return TypeDataBatch }
 
 // AppendFrame appends one complete encoded frame for msg — length header,
 // type tag and body — to dst and returns the extended slice. It never
@@ -459,6 +527,8 @@ type Reader struct {
 	sessionSub   SessionSub
 	sessionUnsub SessionUnsub
 	muxDeliver   MuxDeliver
+	ackBatch     AckBatch
+	dataBatch    DataBatch
 }
 
 // NewReader returns a Reader decoding frames from r.
@@ -537,6 +607,10 @@ func (rd *Reader) message(t Type) Message {
 		return &rd.sessionUnsub
 	case TypeMuxDeliver:
 		return &rd.muxDeliver
+	case TypeAckBatch:
+		return &rd.ackBatch
+	case TypeDataBatch:
+		return &rd.dataBatch
 	default:
 		return nil
 	}
@@ -577,6 +651,10 @@ func newMessage(t Type) (Message, error) {
 		return &SessionUnsub{}, nil
 	case TypeMuxDeliver:
 		return &MuxDeliver{}, nil
+	case TypeAckBatch:
+		return &AckBatch{}, nil
+	case TypeDataBatch:
+		return &DataBatch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}
@@ -631,6 +709,26 @@ func appendSubIDs(dst []byte, ids []uint32) []byte {
 		dst = binary.AppendUvarint(dst, uint64(id))
 	}
 	return dst
+}
+
+// appendDeltaNodes encodes a node list as uvarint count + zigzag-varint
+// deltas between consecutive entries (the first from 0) — the relay-batch
+// counterpart of appendNodes. Sorted or clustered broker IDs cost ~1 byte
+// each instead of 4.
+func appendDeltaNodes(dst []byte, nodes []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(nodes)))
+	prev := int64(0)
+	for _, v := range nodes {
+		dst = binary.AppendVarint(dst, int64(v)-prev)
+		prev = int64(v)
+	}
+	return dst
+}
+
+// appendVarBytes encodes a blob as uvarint length + bytes.
+func appendVarBytes(dst, v []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
 }
 
 // reader decodes primitives with bounds checking.
@@ -701,6 +799,61 @@ func (r *reader) uvarint() (uint64, error) {
 	}
 	r.buf = r.buf[n:]
 	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, ErrTruncated // n == 0: buffer ran out; n < 0: overflow
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// deltaNodesInto decodes an appendDeltaNodes list into dst's storage,
+// mirroring nodesInto's reuse and bounds-check idiom: the claimed count is
+// checked against the remaining buffer (every varint is at least one byte)
+// before any append, and reconstructed IDs outside int32 are rejected —
+// hostile deltas cannot smuggle wrapped node values through.
+func (r *reader) deltaNodesInto(dst []int32) ([]int32, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return dst, err
+	}
+	if n > uint64(len(r.buf)) {
+		return dst, ErrTruncated
+	}
+	dst = dst[:0]
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.varint()
+		if err != nil {
+			return dst, err
+		}
+		prev += d
+		if prev < math.MinInt32 || prev > math.MaxInt32 {
+			return dst, fmt.Errorf("wire: node ID %d overflows int32", prev)
+		}
+		dst = append(dst, int32(prev))
+	}
+	return dst, nil
+}
+
+// varBytesInto decodes an appendVarBytes blob into dst's storage, mirroring
+// bytesInto's reuse and nil semantics.
+func (r *reader) varBytesInto(dst []byte) ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return dst, err
+	}
+	if n > uint64(len(r.buf)) {
+		return dst, ErrTruncated
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return dst, err
+	}
+	return append(dst[:0], b...), nil
 }
 
 // subIDsInto decodes a varint subscriber-ID list into dst's storage,
@@ -952,6 +1105,9 @@ func (m *StatsReply) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Reconnects)
 	dst = appendU64(dst, m.Sessions)
 	dst = appendU64(dst, m.Subscriptions)
+	dst = appendU64(dst, m.AckBatches)
+	dst = appendU64(dst, m.AckFramesCoalesced)
+	dst = appendU64(dst, m.RelayBytesSaved)
 	dst = appendU16(dst, uint16(len(m.Neighbors)))
 	for _, n := range m.Neighbors {
 		dst = appendI32(dst, n.ID)
@@ -1009,6 +1165,15 @@ func (m *StatsReply) decode(r *reader) (err error) {
 		return err
 	}
 	if m.Subscriptions, err = r.u64(); err != nil {
+		return err
+	}
+	if m.AckBatches, err = r.u64(); err != nil {
+		return err
+	}
+	if m.AckFramesCoalesced, err = r.u64(); err != nil {
+		return err
+	}
+	if m.RelayBytesSaved, err = r.u64(); err != nil {
 		return err
 	}
 	m.Neighbors = m.Neighbors[:0]
@@ -1181,4 +1346,147 @@ func (m *MuxDeliver) decode(r *reader) (err error) {
 	}
 	m.Payload, err = r.bytesInto(m.Payload)
 	return err
+}
+
+func (m *AckBatch) appendBody(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.FrameIDs)))
+	prev := uint64(0)
+	for _, id := range m.FrameIDs {
+		// Unsigned subtraction wraps; int64 reinterprets the wrapped bits
+		// and the decoder's wrapping add reverses both — exact for any IDs.
+		dst = binary.AppendVarint(dst, int64(id-prev))
+		prev = id
+	}
+	return dst
+}
+
+func (m *AckBatch) decode(r *reader) error {
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("wire: empty ACK_BATCH")
+	}
+	if n > uint64(len(r.buf)) {
+		return ErrTruncated
+	}
+	m.FrameIDs = m.FrameIDs[:0]
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.varint()
+		if err != nil {
+			return err
+		}
+		prev += uint64(d)
+		m.FrameIDs = append(m.FrameIDs, prev)
+	}
+	return nil
+}
+
+// dataBatchMinEntry is the smallest possible encoded DataBatch entry: six
+// one-byte varint deltas, two one-byte empty node lists, one one-byte empty
+// payload. Bounds-checking the claimed count against it keeps a hostile
+// count from forcing a giant Frames allocation.
+const dataBatchMinEntry = 9
+
+func (m *DataBatch) appendBody(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Frames)))
+	// Previous-entry fields as scalars starting at zero, matching the
+	// decoder exactly (a zero Data's PublishedAt.UnixNano() is NOT zero).
+	var prevFrame, prevPacket uint64
+	var prevTopic, prevSource, prevNS, prevDL int64
+	for i := range m.Frames {
+		e := &m.Frames[i]
+		ns := e.PublishedAt.UnixNano()
+		// Unsigned subtraction wraps; int64 reinterprets the wrapped bits
+		// and the decoder's wrapping add reverses both — exact for any IDs.
+		dst = binary.AppendVarint(dst, int64(e.FrameID-prevFrame))
+		dst = binary.AppendVarint(dst, int64(e.PacketID-prevPacket))
+		dst = binary.AppendVarint(dst, int64(e.Topic)-prevTopic)
+		dst = binary.AppendVarint(dst, int64(e.Source)-prevSource)
+		dst = binary.AppendVarint(dst, ns-prevNS)
+		dst = binary.AppendVarint(dst, int64(e.Deadline)-prevDL)
+		dst = appendDeltaNodes(dst, e.Dests)
+		dst = appendDeltaNodes(dst, e.Path)
+		dst = appendVarBytes(dst, e.Payload)
+		prevFrame, prevPacket = e.FrameID, e.PacketID
+		prevTopic, prevSource = int64(e.Topic), int64(e.Source)
+		prevNS, prevDL = ns, int64(e.Deadline)
+	}
+	return dst
+}
+
+func (m *DataBatch) decode(r *reader) error {
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("wire: empty DATA_BATCH")
+	}
+	if n > uint64(len(r.buf))/dataBatchMinEntry {
+		return ErrTruncated
+	}
+	// Reuse the recycled entries' buffers: re-extending within capacity
+	// re-exposes old elements (their Dests/Path/Payload storage intact),
+	// and append beyond capacity copies those slice headers along.
+	m.Frames = m.Frames[:0]
+	var prevFrame, prevPacket uint64
+	var prevTopic, prevSource, prevNS, prevDL int64
+	for i := uint64(0); i < n; i++ {
+		if len(m.Frames) < cap(m.Frames) {
+			m.Frames = m.Frames[:len(m.Frames)+1]
+		} else {
+			m.Frames = append(m.Frames, Data{})
+		}
+		e := &m.Frames[len(m.Frames)-1]
+		d, err := r.varint()
+		if err != nil {
+			return err
+		}
+		prevFrame += uint64(d)
+		e.FrameID = prevFrame
+		if d, err = r.varint(); err != nil {
+			return err
+		}
+		prevPacket += uint64(d)
+		e.PacketID = prevPacket
+		if d, err = r.varint(); err != nil {
+			return err
+		}
+		prevTopic += d
+		if prevTopic < math.MinInt32 || prevTopic > math.MaxInt32 {
+			return fmt.Errorf("wire: DATA_BATCH topic %d overflows int32", prevTopic)
+		}
+		e.Topic = int32(prevTopic)
+		if d, err = r.varint(); err != nil {
+			return err
+		}
+		prevSource += d
+		if prevSource < math.MinInt32 || prevSource > math.MaxInt32 {
+			return fmt.Errorf("wire: DATA_BATCH source %d overflows int32", prevSource)
+		}
+		e.Source = int32(prevSource)
+		if d, err = r.varint(); err != nil {
+			return err
+		}
+		prevNS += d
+		e.PublishedAt = time.Unix(0, prevNS)
+		if d, err = r.varint(); err != nil {
+			return err
+		}
+		prevDL += d
+		e.Deadline = time.Duration(prevDL)
+		if e.Dests, err = r.deltaNodesInto(e.Dests); err != nil {
+			return err
+		}
+		if e.Path, err = r.deltaNodesInto(e.Path); err != nil {
+			return err
+		}
+		if e.Payload, err = r.varBytesInto(e.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }

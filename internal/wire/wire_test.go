@@ -57,6 +57,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Published: 10, Delivered: 20, Forwarded: 30, Dropped: 1,
 			QueueDrops: 6, Redials: 4, Reconnects: 2,
 			Sessions: 64, Subscriptions: 100000,
+			AckBatches: 12, AckFramesCoalesced: 700, RelayBytesSaved: 9000,
 			Neighbors: []NeighborStat{
 				{ID: 1, Connected: true, Alpha: 12 * time.Millisecond, Gamma: 0.97},
 				{ID: 5, Connected: false, Alpha: 30 * time.Millisecond, Gamma: 0.4},
@@ -80,6 +81,29 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Payload: []byte("shared payload"),
 		},
 		&MuxDeliver{PacketID: 1, PublishedAt: time.Unix(0, 0)},
+		&AckBatch{FrameIDs: []uint64{7}},
+		&AckBatch{FrameIDs: []uint64{9, 5, 9, 1 << 63, 0}}, // unsorted, dup, wrap
+		&DataBatch{Frames: []Data{
+			{
+				FrameID: 100, PacketID: 50, Topic: 2, Source: 0,
+				PublishedAt: at, Deadline: time.Second,
+				Dests: []int32{1, 3}, Path: []int32{0},
+				Payload: []byte("a"),
+			},
+			{
+				FrameID: 101, PacketID: 51, Topic: 2, Source: 0,
+				PublishedAt: at.Add(time.Microsecond), Deadline: time.Second,
+				Dests: []int32{1, 3}, Path: []int32{0},
+				Payload: []byte("bb"),
+			},
+			{
+				FrameID: 90, PacketID: 2, Topic: -1, Source: 7,
+				PublishedAt: time.Unix(0, 0), Deadline: -time.Millisecond,
+				Dests: []int32{-2147483648, 2147483647},
+				Payload: []byte{0xFF},
+			},
+		}},
+		&DataBatch{Frames: []Data{{PublishedAt: time.Unix(0, 0)}}},
 	}
 	for _, msg := range tests {
 		t.Run(msg.Type().String(), func(t *testing.T) {
@@ -180,6 +204,7 @@ func TestTypeStrings(t *testing.T) {
 		TypeSubscribe: "SUBSCRIBE", TypePublish: "PUBLISH", TypeDeliver: "DELIVER",
 		TypeSessionHello: "SESSION_HELLO", TypeSessionSub: "SESSION_SUB",
 		TypeSessionUnsub: "SESSION_UNSUB", TypeMuxDeliver: "MUX_DELIVER",
+		TypeAckBatch: "ACK_BATCH", TypeDataBatch: "DATA_BATCH",
 	} {
 		if ty.String() != want {
 			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)

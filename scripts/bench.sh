@@ -9,10 +9,13 @@
 # Runs three suites with -benchmem, 5 counts each:
 #   - Approach*, Figure2 and Rebuild (root package): full-simulation cost
 #   - BenchmarkWire* (internal/wire): codec encode/decode cost and allocs
-#   - BenchmarkBroker* and BenchmarkEdge* (internal/broker): live-broker
-#     forwarding and fan-out throughput (msgs/sec, deliveries/sec) over
-#     localhost, plus the edge-tier aggregation benchmark (bytes/delivery,
-#     frames/delivery for per-subscriber vs multiplexed delivery)
+#   - BenchmarkBroker*, BenchmarkEdge* and BenchmarkRelayChain
+#     (internal/broker): live-broker forwarding and fan-out throughput
+#     (msgs/sec, deliveries/sec) over localhost, the edge-tier aggregation
+#     benchmark (bytes/delivery, frames/delivery for per-subscriber vs
+#     multiplexed delivery), and the relay-plane aggregation benchmark
+#     (bytes/packet, frames/packet across a 3-broker chain, legacy framing
+#     vs negotiated DATA_BATCH/ACK_BATCH)
 # saves the raw `go test` output next to the JSON (for benchstat), and writes
 # the per-benchmark mean ns/op, B/op, allocs/op and custom metrics
 # (qos_ratio, msgs/sec, ...) to out.json (default: BENCH_current.json).
@@ -22,8 +25,9 @@
 # benchmark's mean ns/op rose — or any "/sec" throughput metric fell, or
 # any latency percentile (p50_ms, p99_ms, ...) rose — by more than 20%
 # against the baseline's "current" section. The sharded scaling curve's
-# 8-core point and the edge aggregation benchmark are additionally pinned
-# with -require, so renaming or dropping either cannot silently un-gate it.
+# 8-core point, the edge aggregation benchmark and the relay-chain batch
+# benchmark are additionally pinned with -require, so renaming or dropping
+# any of them cannot silently un-gate it.
 # (BenchmarkBrokerSharded sets GOMAXPROCS inside its cpus=N sub-runs rather
 # than via -cpu: benchjson strips go's -N name suffix when merging counts,
 # so -cpu variants would collapse into one entry.)
@@ -43,14 +47,14 @@ run_all() {
 	go test -run '^$' -bench 'Approach|Figure2|Rebuild' -benchmem -count 5 -benchtime 2x .
 	go test -run '^$' -bench 'Wire' -benchmem -count 5 ./internal/wire
 	go test -run '^$' -bench 'Broker' -benchmem -count 5 -benchtime 2x ./internal/broker
-	# Edge fan-out is one publish per op — at 2x the numbers are all setup
-	# noise, so it gets a long fixed iteration count of its own.
-	go test -run '^$' -bench 'Edge' -benchmem -count 5 -benchtime 1000x ./internal/broker
+	# Edge fan-out and the relay chain are one publish per op — at 2x the
+	# numbers are all setup noise, so they get a long fixed iteration count.
+	go test -run '^$' -bench 'Edge|RelayChain' -benchmem -count 5 -benchtime 1000x ./internal/broker
 }
 
 if [ "${1:-}" = "-check" ]; then
 	run_all | go run ./cmd/benchjson -check BENCH_baseline.json \
-		-require 'BenchmarkBrokerSharded/cpus=8,BenchmarkEdgeFanout/mux'
+		-require 'BenchmarkBrokerSharded/cpus=8,BenchmarkEdgeFanout/mux,BenchmarkRelayChain/batch'
 	exit
 fi
 
