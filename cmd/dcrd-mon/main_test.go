@@ -57,6 +57,14 @@ func TestPrintStatsFull(t *testing.T) {
 		Routes: []wire.RouteStat{
 			{Topic: 7, Sub: 2, D: 30 * time.Millisecond, R: 0.97, ListLen: 2},
 		},
+		Ctrl: wire.CtrlStat{
+			Enabled: true, Epoch: 41, Version: 19, Rebuilds: 7, Noops: 30,
+			TablesBuilt: 21, LinkStatesSent: 88, LinkStatesRecv: 90,
+			StaleDrops: 2, ProbesSent: 14, ProbeReplies: 13,
+		},
+		Links: []wire.LinkStat{
+			{From: 1, To: 2, Alpha: 11 * time.Millisecond, Gamma: 0.97, Epoch: 40},
+		},
 	})
 	out := sb.String()
 	for _, want := range []string{
@@ -66,6 +74,10 @@ func TestPrintStatsFull(t *testing.T) {
 		"shards:", "enqueued 250", "processed 247", "inflight 9",
 		"up", "DOWN", "gamma 0.980",
 		"topic 7", "list 2",
+		"ctrl: epoch 41, db version 19, rebuilds 7 (noops 30, tables built 21)",
+		"link-state sent 88 recv 90 (stale 2), probes sent 14 replied 13",
+		"links (gossiped estimates, directed):",
+		"1 -> 2   alpha 11ms", "epoch 40",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

@@ -1,0 +1,350 @@
+package algo1
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Deps is the monitoring substrate a Driver rebuilds route tables from.
+// The driver never samples links itself; it asks the environment for a
+// version counter, the set of links whose estimates changed between two
+// versions, and the current single-transmission <alpha, gamma> estimate of
+// a directed link. The simulator backs this with netsim's deterministic
+// monitoring windows; the live broker backs it with a gossip-fed link-state
+// database measured from real traffic. The changed-link sets are what make
+// a quiet epoch a pointer-identity no-op: the version moved but nothing the
+// tables depend on did, so every table survives untouched.
+type Deps interface {
+	// EstimateVersion is a counter that advances whenever any link estimate
+	// may have changed. Equal versions guarantee equal estimates.
+	EstimateVersion() uint64
+	// AppendChangedLinks appends every link whose estimate changed in
+	// versions (from, to] to dst and returns it. Over-approximating is
+	// sound (extra pairs are rebuilt to identical tables); omitting a
+	// genuinely changed link is not.
+	AppendChangedLinks(from, to uint64, dst [][2]int) [][2]int
+	// LinkEstimate reports the current single-transmission <alpha, gamma>
+	// estimate of directed link (u, v). ok is false when the link is
+	// unknown or down.
+	LinkEstimate(u, v int) (alpha time.Duration, gamma float64, ok bool)
+}
+
+// PairKey names one (publisher topic, subscriber node) route-table pair.
+type PairKey struct {
+	Topic int32
+	Sub   int32
+}
+
+// DriverOptions tunes a Driver.
+type DriverOptions struct {
+	// Build tunes the per-pair Algorithm-1 fixpoint.
+	Build BuildOptions
+	// Workers bounds the worker pool Rebuild fans independent pair builds
+	// out over. Values <= 1 build serially. Output is deterministic either
+	// way: pair builds are pure and results are installed in index order.
+	Workers int
+}
+
+// pairState is one registered (topic, subscriber) pair: its authoritative
+// budget vector, its current table (nil before the first build) and a dirty
+// mark forcing a rebuild regardless of changed links (new registration or a
+// changed budget/graph).
+type pairState struct {
+	sub    int
+	budget []time.Duration
+	table  *Table
+	dirty  bool
+}
+
+// Driver schedules incremental Algorithm-1 rebuilds: it owns the route
+// tables for a set of registered (topic, subscriber) pairs and refreshes
+// them from its Deps on demand. Rebuild is the whole contract — when the
+// estimate version is unchanged the call is a no-op reusing every prior
+// table; otherwise one shared link-stats Snapshot is built for the epoch,
+// pairs untouched by any changed link keep their tables (pointer identity),
+// and dirty pairs are warm-started from their previous fixpoint. The
+// resulting tables are exactly the tables a from-scratch build would
+// produce (RebuildCold, which tests cross-check against).
+//
+// A Driver is not safe for concurrent use; both shells call it from a
+// single goroutine (the simulator's event loop, the broker's control loop).
+type Driver struct {
+	g    *topology.Graph
+	deps Deps
+	opts DriverOptions
+
+	pairs map[PairKey]*pairState
+	order []PairKey // registration order: deterministic build order
+
+	estVer     uint64
+	built      bool
+	nDirty     int
+	changedBuf [][2]int
+
+	// Rebuild outcome counters (diagnostics, exported via Stats).
+	epochs  uint64
+	noops   uint64
+	rebuilt uint64
+}
+
+// NewDriver creates a driver over the supplied overlay graph and
+// monitoring substrate, with no pairs registered.
+func NewDriver(g *topology.Graph, deps Deps, opts DriverOptions) *Driver {
+	if opts.Build.M < 1 {
+		opts.Build.M = 1
+	}
+	return &Driver{g: g, deps: deps, opts: opts, pairs: make(map[PairKey]*pairState)}
+}
+
+// Graph returns the overlay graph the driver currently builds against.
+func (d *Driver) Graph() *topology.Graph { return d.g }
+
+// SetGraph replaces the overlay graph (live topologies grow and shrink as
+// gossip reveals brokers). Every pair is marked dirty: warm starts remain
+// valid only when the node count is unchanged, and BuildTableIncremental
+// falls back to a cold build otherwise.
+func (d *Driver) SetGraph(g *topology.Graph) {
+	d.g = g
+	for _, key := range d.order {
+		p := d.pairs[key]
+		if !p.dirty {
+			p.dirty = true
+			d.nDirty++
+		}
+	}
+}
+
+// SetPair registers (or refreshes) one (topic, subscriber) pair. sub is the
+// subscriber's node index in the graph; budget[x] is node x's residual
+// delay requirement D_XS (see BudgetsFromTree; a uniform deadline vector
+// reproduces the live broker's flat admission rule). Re-registering with an
+// identical subscriber and budget is a cheap no-op, so callers may sync
+// their full pair set every epoch.
+func (d *Driver) SetPair(key PairKey, sub int, budget []time.Duration) {
+	if p, ok := d.pairs[key]; ok {
+		if p.sub == sub && slices.Equal(p.budget, budget) {
+			return
+		}
+		p.sub = sub
+		p.budget = append(p.budget[:0], budget...)
+		p.table = nil // budgets changed: the old fixpoint is not a valid warm seed
+		if !p.dirty {
+			p.dirty = true
+			d.nDirty++
+		}
+		return
+	}
+	d.pairs[key] = &pairState{sub: sub, budget: append([]time.Duration(nil), budget...), dirty: true}
+	d.order = append(d.order, key)
+	d.nDirty++
+}
+
+// RemovePair drops a pair and its table.
+func (d *Driver) RemovePair(key PairKey) {
+	p, ok := d.pairs[key]
+	if !ok {
+		return
+	}
+	if p.dirty {
+		d.nDirty--
+	}
+	delete(d.pairs, key)
+	if i := slices.Index(d.order, key); i >= 0 {
+		d.order = slices.Delete(d.order, i, i+1)
+	}
+}
+
+// Table returns the pair's current route table (nil before the first
+// Rebuild or for an unregistered pair).
+func (d *Driver) Table(key PairKey) *Table {
+	p, ok := d.pairs[key]
+	if !ok {
+		return nil
+	}
+	return p.table
+}
+
+// Pairs calls fn for every registered pair in registration order with its
+// current table (nil before the first build).
+func (d *Driver) Pairs(fn func(key PairKey, t *Table)) {
+	for _, key := range d.order {
+		fn(key, d.pairs[key].table)
+	}
+}
+
+// DriverStats counts rebuild outcomes.
+type DriverStats struct {
+	// Epochs is the number of Rebuild calls.
+	Epochs uint64
+	// Noops is how many of them were pointer-identity no-ops (version
+	// unchanged, or a new window with identical estimates).
+	Noops uint64
+	// TablesBuilt is the total number of per-pair fixpoint builds.
+	TablesBuilt uint64
+	// EstimateVersion is the version the current tables were built from.
+	EstimateVersion uint64
+}
+
+// Stats returns rebuild-outcome counters.
+func (d *Driver) Stats() DriverStats {
+	return DriverStats{Epochs: d.epochs, Noops: d.noops, TablesBuilt: d.rebuilt, EstimateVersion: d.estVer}
+}
+
+// Rebuild refreshes the route tables from the monitoring estimates current
+// at the Deps and reports whether any table may have changed. The refresh
+// is incremental: an unchanged estimate version (and no dirty pairs) is a
+// no-op reusing every prior table; otherwise the changed-link set confines
+// the work to affected pairs, warm-started from their previous fixpoints.
+func (d *Driver) Rebuild() bool {
+	d.epochs++
+	ver := d.deps.EstimateVersion()
+	var changed [][2]int
+	full := !d.built
+	if d.built {
+		if ver == d.estVer && d.nDirty == 0 {
+			d.noops++
+			return false // same estimates, same tables
+		}
+		if ver != d.estVer {
+			d.changedBuf = d.deps.AppendChangedLinks(d.estVer, ver, d.changedBuf[:0])
+			changed = d.changedBuf
+		}
+		d.estVer = ver
+		if len(changed) == 0 && d.nDirty == 0 {
+			d.noops++
+			return false // new window, identical estimates
+		}
+	} else {
+		d.estVer = ver
+	}
+	d.rebuild(changed, full)
+	d.built = true
+	return true
+}
+
+// rebuildJob is one dirty (topic, subscriber) pair queued for (re)building.
+type rebuildJob struct {
+	key    PairKey
+	sub    int
+	budget []time.Duration
+	prev   *Table
+}
+
+// rebuild (re)builds route tables against one shared snapshot of the
+// current estimates. With full set everything is dirty (the initial build
+// or a graph change); otherwise only explicitly dirty pairs and pairs the
+// changed links can influence are rebuilt, warm-started from their
+// previous tables.
+func (d *Driver) rebuild(changed [][2]int, full bool) {
+	g := d.g
+	n := g.N()
+	snap := NewSnapshot(g, d.deps.LinkEstimate, d.opts.Build.M)
+
+	var jobs []rebuildJob
+	for _, key := range d.order {
+		p := d.pairs[key]
+		if len(p.budget) != n || p.sub < 0 || p.sub >= n {
+			// The graph moved under the pair and the caller has not refreshed
+			// its budgets yet; building would index out of bounds. Skip — the
+			// pair stays dirty and builds on the next epoch after a SetPair.
+			continue
+		}
+		if !full && !p.dirty && p.table != nil &&
+			(changed == nil || !pairAffected(p.budget, p.sub, changed)) {
+			continue
+		}
+		prev := p.table
+		if prev != nil && len(prev.Params) != n {
+			prev = nil
+		}
+		jobs = append(jobs, rebuildJob{key: key, sub: p.sub, budget: p.budget, prev: prev})
+	}
+
+	results := make([]*Table, len(jobs))
+	if d.opts.Workers > 1 && len(jobs) > 1 {
+		workers := d.opts.Workers
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					j := jobs[i]
+					results[i] = BuildTableIncremental(g, snap, j.sub, j.budget, j.prev, d.opts.Build)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, j := range jobs {
+			results[i] = BuildTableIncremental(g, snap, j.sub, j.budget, j.prev, d.opts.Build)
+		}
+	}
+	for i, j := range jobs {
+		p := d.pairs[j.key]
+		p.table = results[i]
+		if p.dirty {
+			p.dirty = false
+			d.nDirty--
+		}
+	}
+	d.rebuilt += uint64(len(jobs))
+}
+
+// pairAffected reports whether any changed link can influence the pair's
+// Algorithm-1 fixpoint. A changed link (u, v) is relevant in direction
+// u→v only when u could ever send (positive residual budget) and v could
+// ever be admitted (it is the subscriber, whose parameters are pinned, or
+// it has a positive budget — a node with budget <= 0 admits nobody and so
+// stays Unreachable regardless of link statistics). This test is sound —
+// it never skips a pair whose table could differ — while budgets are
+// static per pair, so it costs O(changed links) per pair and no rebuild.
+func pairAffected(budget []time.Duration, sub int, changed [][2]int) bool {
+	for _, l := range changed {
+		u, v := l[0], l[1]
+		if u >= len(budget) || v >= len(budget) || u < 0 || v < 0 {
+			return true // a link outside the graph the budgets were made for: assume relevant
+		}
+		if budget[u] > 0 && (v == sub || budget[v] > 0) {
+			return true
+		}
+		if budget[v] > 0 && (u == sub || budget[u] > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// RebuildCold re-runs Algorithm 1 from scratch for every registered pair —
+// the pre-incremental reference implementation, kept as the correctness
+// oracle: tests and benchmarks cross-check Rebuild's incremental tables
+// (and measure its speedup) against this path. Each pair pays for its own
+// link-stats snapshot and a cold Jacobi start.
+func (d *Driver) RebuildCold() {
+	n := d.g.N()
+	for _, key := range d.order {
+		p := d.pairs[key]
+		if len(p.budget) != n || p.sub < 0 || p.sub >= n {
+			continue
+		}
+		p.table = BuildTable(d.g, d.deps.LinkEstimate, p.sub, p.budget, d.opts.Build)
+		if p.dirty {
+			p.dirty = false
+			d.nDirty--
+		}
+	}
+	d.estVer = d.deps.EstimateVersion()
+	d.built = true
+}

@@ -1,17 +1,17 @@
-package core_test
+package algo1_test
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 )
 
 // ExampleLinkStats lifts a lossy link's single-transmission statistics to
 // the paper's Eq. (1) m-transmission form.
 func ExampleLinkStats() {
 	// A 20 ms link delivering 80% of transmissions, tried up to twice.
-	dr := core.LinkStats(20*time.Millisecond, 0.8, 2)
+	dr := algo1.LinkStats(20*time.Millisecond, 0.8, 2)
 	fmt.Printf("expected delay %v, delivery ratio %.2f\n", dr.D, dr.R)
 	// Output:
 	// expected delay 23.333333ms, delivery ratio 0.96
@@ -20,9 +20,9 @@ func ExampleLinkStats() {
 // ExampleCombine evaluates Eq. (3): the expected delay and delivery ratio
 // of trying two neighbors in order.
 func ExampleCombine() {
-	first := core.DR{D: 10 * time.Millisecond, R: 0.5}
-	second := core.DR{D: 20 * time.Millisecond, R: 0.5}
-	dr := core.Combine([]core.DR{first, second})
+	first := algo1.DR{D: 10 * time.Millisecond, R: 0.5}
+	second := algo1.DR{D: 20 * time.Millisecond, R: 0.5}
+	dr := algo1.Combine([]algo1.DR{first, second})
 	fmt.Printf("d=%v r=%.2f\n", dr.D, dr.R)
 	// Output:
 	// d=16.666666ms r=0.75
@@ -30,12 +30,12 @@ func ExampleCombine() {
 
 // ExampleSortByRatio orders a sending list by the Theorem-1 d/r rule.
 func ExampleSortByRatio() {
-	entries := []core.DR{
+	entries := []algo1.DR{
 		{D: 30 * time.Millisecond, R: 0.5}, // neighbor 7: ratio 60ms
 		{D: 10 * time.Millisecond, R: 0.9}, // neighbor 2: ratio 11ms
 	}
 	ids := []int{7, 2}
-	core.SortByRatio(entries, ids)
+	algo1.SortByRatio(entries, ids)
 	fmt.Println(ids)
 	// Output:
 	// [2 7]

@@ -1,0 +1,79 @@
+package algo1
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestOrderingPoliciesProduceExpectedLists(t *testing.T) {
+	// Node 0 has three routes to subscriber 3 with different (d, r)
+	// trade-offs; each ordering policy should rank them differently.
+	g := topology.NewGraph(4)
+	mustLink := func(u, v int, d time.Duration) {
+		t.Helper()
+		if err := g.AddLink(u, v, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(0, 3, 50*time.Millisecond)
+	mustLink(0, 1, 10*time.Millisecond)
+	mustLink(1, 3, 10*time.Millisecond)
+	mustLink(0, 2, 40*time.Millisecond)
+	mustLink(2, 3, 40*time.Millisecond)
+
+	// Per-link gammas: the direct link is very reliable, the cheap two-hop
+	// route is flaky, the expensive two-hop route is mid.
+	gamma := map[[2]int]float64{
+		{0, 3}: 0.999,
+		{0, 1}: 0.6, {1, 3}: 0.6,
+		{0, 2}: 0.9, {2, 3}: 0.9,
+	}
+	stats := func(u, v int) (time.Duration, float64, bool) {
+		d, ok := g.LinkDelay(u, v)
+		if !ok {
+			return 0, 0, false
+		}
+		a, b := topology.Canonical(u, v)
+		return d, gamma[[2]int{a, b}], true
+	}
+
+	listFor := func(ord Ordering) []int {
+		tab := BuildTable(g, stats, 3, bigBudgets(4), BuildOptions{Ordering: ord})
+		return tab.Lists[0]
+	}
+
+	// Reliability-only: most reliable via first = direct (r ~.999).
+	rel := listFor(ReliabilityOrder)
+	if len(rel) != 3 || rel[0] != 3 {
+		t.Errorf("reliability order = %v, want direct link (3) first", rel)
+	}
+	// Delay-only: cheapest via d first = via 1 (~20ms+).
+	del := listFor(DelayOrder)
+	if len(del) != 3 || del[0] != 1 {
+		t.Errorf("delay order = %v, want flaky cheap route (1) first", del)
+	}
+	// Arbitrary: neighbor-ID order.
+	arb := listFor(ArbitraryOrder)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if arb[i] != want[i] {
+			t.Fatalf("arbitrary order = %v, want %v", arb, want)
+		}
+	}
+	// Ratio order must yield the minimal expected delay of all policies.
+	best := BuildTable(g, stats, 3, bigBudgets(4), BuildOptions{Ordering: RatioOrder}).Params[0].D
+	for _, ord := range []Ordering{DelayOrder, ReliabilityOrder, ArbitraryOrder} {
+		d := BuildTable(g, stats, 3, bigBudgets(4), BuildOptions{Ordering: ord}).Params[0].D
+		if d < best {
+			t.Errorf("%v expected delay %v beats Theorem-1 %v", ord, d, best)
+		}
+	}
+}
+
+func TestOrderingUnknownString(t *testing.T) {
+	if Ordering(42).String() != "Ordering(42)" {
+		t.Errorf("got %q", Ordering(42).String())
+	}
+}

@@ -1,10 +1,18 @@
-// Package core implements DCRD (Delay-Cognizant Reliable Delivery), the
-// paper's contribution: per-subscriber expected-delay / delivery-ratio
-// parameters computed recursively across the overlay (Eq. 1–3), the
-// Theorem-1 optimal sending-list ordering, Algorithm 1's distributed route
-// setup, and Algorithm 2's dynamic forwarding scheme with hop-by-hop ACKs,
-// per-neighbor failover and upstream rerouting.
-package core
+// Package algo1 is the transport-agnostic DCRD control plane: the paper's
+// <d, r> parameter algebra (Eq. 1–3), the Theorem-1 sending-list ordering,
+// the per-pair Algorithm-1 fixpoint (BuildTable / BuildTableIncremental
+// with warm-started rebuilds) and the epoch-scheduling Driver that turns a
+// stream of link-estimate changes into fresh route tables.
+//
+// Like internal/algo2 for the data plane, this package never touches a
+// clock, a socket or a simulator event queue. Everything environmental is
+// injected through the small Deps interface: the discrete-event simulator
+// (internal/core.Router) feeds it netsim's monitoring windows, and the
+// live broker (internal/broker) feeds it gossiped link-state deltas
+// measured from real TCP traffic. Both shells run the exact same fixpoint
+// code, which is what lets a differential test demand bit-identical tables
+// from both.
+package algo1
 
 import (
 	"math"

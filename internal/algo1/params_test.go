@@ -1,4 +1,4 @@
-package core
+package algo1
 
 import (
 	"math"

@@ -1,0 +1,321 @@
+package algo1
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestWarmStartEqualsColdBuildProperty is the incremental engine's
+// correctness pin: for random topologies, random link statistics and
+// random per-epoch perturbations (links degrading, recovering, dying and
+// resurrecting), a warm-started BuildTableIncremental must produce exactly
+// the table a cold build produces — params, lists and budgets bit-for-bit.
+func TestWarmStartEqualsColdBuildProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x7eb))
+		n := 10 + int(seed%8) // 10..17 nodes
+		degree := 3 + int(seed%3)
+		if n*degree%2 != 0 {
+			degree--
+		}
+		g, err := topology.RandomRegular(n, degree, topology.DefaultDelayRange(), rng)
+		if err != nil {
+			return false
+		}
+		// Per-directed-link gamma, evolved across epochs; alpha stays the
+		// propagation delay (monitoring measures it exactly).
+		gamma := make([]float64, n*n)
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(u) {
+				gamma[u*n+e.To] = 0.5 + rng.Float64()*0.5
+			}
+		}
+		stats := func(u, v int) (time.Duration, float64, bool) {
+			d, ok := g.LinkDelay(u, v)
+			if !ok {
+				return 0, 0, false
+			}
+			return d, gamma[u*n+v], true
+		}
+		sub := int(seed>>8) % n
+		tree := topology.Dijkstra(g, 0, nil)
+		budget := BudgetsFromTree(tree, 3*tree.Dist[sub]+10*time.Millisecond)
+		opts := BuildOptions{M: 1 + int(seed>>16)%2}
+
+		prev := BuildTable(g, stats, sub, budget, opts)
+		for epoch := 0; epoch < 6; epoch++ {
+			// Perturb ~30% of links; occasionally kill or resurrect one —
+			// the hard case for incremental rebuilds, because a dead link
+			// coming back can newly enter sending lists it never appeared in.
+			for u := 0; u < n; u++ {
+				for _, e := range g.Neighbors(u) {
+					switch {
+					case rng.Float64() < 0.05:
+						gamma[u*n+e.To] = 0
+					case rng.Float64() < 0.30:
+						gamma[u*n+e.To] = 0.4 + rng.Float64()*0.6
+					}
+				}
+			}
+			cold := BuildTable(g, stats, sub, budget, opts)
+			warm := BuildTableIncremental(g, NewSnapshot(g, stats, opts.M), sub, budget, prev, opts)
+			if !cold.Equal(warm) {
+				t.Logf("seed %d epoch %d: warm table diverged from cold", seed, epoch)
+				return false
+			}
+			prev = warm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fakeMonitor is a deterministic Deps for driver tests: a versioned table
+// of per-directed-link estimates whose mutations are logged as changed-link
+// sets, exactly the shape a gossip-fed link-state database presents.
+type fakeMonitor struct {
+	n       int
+	alpha   []time.Duration
+	gamma   []float64
+	version uint64
+	// changes[i] is the set of links that changed when the version moved
+	// from i to i+1.
+	changes [][][2]int
+}
+
+func newFakeMonitor(g *topology.Graph) *fakeMonitor {
+	n := g.N()
+	m := &fakeMonitor{n: n, alpha: make([]time.Duration, n*n), gamma: make([]float64, n*n), version: 1}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(u) {
+			m.alpha[u*n+e.To] = e.Delay
+			m.gamma[u*n+e.To] = 1
+		}
+	}
+	return m
+}
+
+// set mutates one directed link's estimate under a fresh version.
+func (m *fakeMonitor) set(links [][2]int, mut func(u, v int) (time.Duration, float64)) {
+	var delta [][2]int
+	for _, l := range links {
+		u, v := l[0], l[1]
+		a, gm := mut(u, v)
+		if m.alpha[u*m.n+v] == a && m.gamma[u*m.n+v] == gm {
+			continue
+		}
+		m.alpha[u*m.n+v], m.gamma[u*m.n+v] = a, gm
+		delta = append(delta, l)
+	}
+	m.changes = append(m.changes, delta)
+	m.version++
+}
+
+// bumpQuiet advances the version without changing any estimate.
+func (m *fakeMonitor) bumpQuiet() {
+	m.changes = append(m.changes, nil)
+	m.version++
+}
+
+func (m *fakeMonitor) EstimateVersion() uint64 { return m.version }
+
+func (m *fakeMonitor) AppendChangedLinks(from, to uint64, dst [][2]int) [][2]int {
+	for v := from; v < to; v++ {
+		dst = append(dst, m.changes[v-1]...)
+	}
+	return dst
+}
+
+func (m *fakeMonitor) LinkEstimate(u, v int) (time.Duration, float64, bool) {
+	gm := m.gamma[u*m.n+v]
+	if gm <= 0 {
+		return 0, 0, false
+	}
+	return m.alpha[u*m.n+v], gm, true
+}
+
+// TestDriverWarmEqualsColdProperty is the gossip-shaped mirror of the
+// warm==cold pin: a Driver stepped through random delta streams (sparse
+// per-epoch changed-link sets, quiet version bumps, dead and resurrected
+// links — exactly what the live broker's link-state gossip feeds it) must
+// hold, at every epoch, tables bitwise identical to a from-scratch
+// RebuildCold of the same estimates.
+func TestDriverWarmEqualsColdProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x11ec))
+		n := 8 + int(seed%9) // 8..16 nodes
+		degree := 3 + int(seed%2)
+		if n*degree%2 != 0 {
+			degree--
+		}
+		g, err := topology.RandomRegular(n, degree, topology.DefaultDelayRange(), rng)
+		if err != nil {
+			return false
+		}
+		mon := newFakeMonitor(g)
+		opts := DriverOptions{Build: BuildOptions{M: 1 + int(seed>>4)%2}}
+		if seed>>6&1 == 1 {
+			opts.Workers = 3
+		}
+		inc := NewDriver(g, mon, opts)
+		cold := NewDriver(g, mon, opts)
+		deadline := 400 * time.Millisecond
+		budget := make([]time.Duration, n)
+		for x := range budget {
+			budget[x] = deadline
+		}
+		for p := 0; p < 3; p++ {
+			sub := int(seed>>(8+4*p)) % n
+			key := PairKey{Topic: int32(p), Sub: int32(sub)}
+			inc.SetPair(key, sub, budget)
+			cold.SetPair(key, sub, budget)
+		}
+
+		var links [][2]int
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(u) {
+				links = append(links, [2]int{u, e.To})
+			}
+		}
+		for epoch := 0; epoch < 8; epoch++ {
+			switch {
+			case epoch > 0 && rng.Float64() < 0.25:
+				mon.bumpQuiet()
+			default:
+				// Mutate a sparse random subset — a gossip delta.
+				k := 1 + rng.IntN(4)
+				var batch [][2]int
+				for i := 0; i < k; i++ {
+					batch = append(batch, links[rng.IntN(len(links))])
+				}
+				mon.set(batch, func(u, v int) (time.Duration, float64) {
+					if rng.Float64() < 0.1 {
+						return 0, 0 // link death
+					}
+					return time.Duration(1+rng.IntN(30)) * time.Millisecond, 0.4 + rng.Float64()*0.6
+				})
+			}
+			inc.Rebuild()
+			cold.RebuildCold()
+			ok := true
+			inc.Pairs(func(key PairKey, got *Table) {
+				if !got.Equal(cold.Table(key)) {
+					t.Logf("seed %d epoch %d pair %+v: incremental diverged from cold", seed, epoch, key)
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDriverQuietEpochIsNoOp pins the pointer-identity fast path: a version
+// bump that changes no estimate must reuse every prior table object.
+func TestDriverQuietEpochIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 0))
+	g, err := topology.RandomRegular(12, 4, topology.DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := newFakeMonitor(g)
+	d := NewDriver(g, mon, DriverOptions{})
+	budget := make([]time.Duration, g.N())
+	for x := range budget {
+		budget[x] = 300 * time.Millisecond
+	}
+	for sub := 0; sub < 4; sub++ {
+		d.SetPair(PairKey{Topic: 0, Sub: int32(sub)}, sub, budget)
+	}
+	if !d.Rebuild() {
+		t.Fatal("initial Rebuild reported no work")
+	}
+	before := make(map[PairKey]*Table)
+	d.Pairs(func(key PairKey, tab *Table) { before[key] = tab })
+
+	// Same version, then a quiet bump: both must be no-ops.
+	for i := 0; i < 2; i++ {
+		if d.Rebuild() {
+			t.Fatalf("step %d: Rebuild reported work without estimate changes", i)
+		}
+		mon.bumpQuiet()
+	}
+	d.Pairs(func(key PairKey, tab *Table) {
+		if before[key] != tab {
+			t.Fatalf("pair %+v: table replaced on a quiet epoch", key)
+		}
+	})
+	st := d.Stats()
+	if st.Noops != 2 || st.Epochs != 3 {
+		t.Fatalf("stats = %+v, want 2 noops of 3 epochs", st)
+	}
+
+	// A real delta must rebuild only affected pairs but leave the version
+	// consistent.
+	mon.set([][2]int{{0, g.Neighbors(0)[0].To}}, func(u, v int) (time.Duration, float64) {
+		return 25 * time.Millisecond, 0.5
+	})
+	if !d.Rebuild() {
+		t.Fatal("Rebuild ignored a changed link")
+	}
+	if got := d.Stats().EstimateVersion; got != mon.version {
+		t.Fatalf("driver at version %d, monitor at %d", got, mon.version)
+	}
+}
+
+// TestDriverSetPairAndRemove pins live registration churn: adding a pair on
+// a quiet epoch builds exactly that pair; removing it drops its table.
+func TestDriverSetPairAndRemove(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 1))
+	g, err := topology.RandomRegular(10, 4, topology.DefaultDelayRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := newFakeMonitor(g)
+	d := NewDriver(g, mon, DriverOptions{})
+	budget := make([]time.Duration, g.N())
+	for x := range budget {
+		budget[x] = 200 * time.Millisecond
+	}
+	a := PairKey{Topic: 1, Sub: 2}
+	d.SetPair(a, 2, budget)
+	d.Rebuild()
+	at := d.Table(a)
+	if at == nil {
+		t.Fatal("pair a has no table")
+	}
+
+	// Re-registering identically is a no-op; the next Rebuild keeps the
+	// table object.
+	d.SetPair(a, 2, budget)
+	if d.Rebuild() {
+		t.Fatal("identical re-registration caused a rebuild")
+	}
+
+	b := PairKey{Topic: 1, Sub: 5}
+	d.SetPair(b, 5, budget)
+	if !d.Rebuild() {
+		t.Fatal("new pair did not trigger a build")
+	}
+	if d.Table(a) != at {
+		t.Fatal("adding pair b rebuilt pair a on a quiet epoch")
+	}
+	if d.Table(b) == nil {
+		t.Fatal("pair b has no table")
+	}
+	d.RemovePair(b)
+	if d.Table(b) != nil {
+		t.Fatal("removed pair still has a table")
+	}
+}

@@ -1,4 +1,4 @@
-package core
+package algo1
 
 import (
 	"fmt"
@@ -212,7 +212,7 @@ func BuildTableIncremental(g *topology.Graph, snap *Snapshot, sub int, budget []
 		opts.M = 1
 	}
 	if snap.m != opts.M || snap.n != n {
-		panic(fmt.Sprintf("core: snapshot built for (n=%d, m=%d), table wants (n=%d, m=%d)",
+		panic(fmt.Sprintf("algo1: snapshot built for (n=%d, m=%d), table wants (n=%d, m=%d)",
 			snap.n, snap.m, n, opts.M))
 	}
 	if opts.MaxRounds <= 0 {
@@ -387,6 +387,34 @@ func admit(g *topology.Graph, x int, params []DR, linkDR []DR, n int, budget tim
 
 // List returns node x's sending list. The slice is owned by the table.
 func (t *Table) List(x int) []int { return t.Lists[x] }
+
+// Equal compares everything a table exposes to forwarding: the <d, r>
+// parameters, the ordered sending lists and the budgets. Rounds is
+// diagnostics (warm starts converge faster by design) and is excluded.
+// The incremental-rebuild cross-checks (warm vs cold, sim vs live) demand
+// this bitwise equality.
+func (t *Table) Equal(o *Table) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Subscriber != o.Subscriber || len(t.Params) != len(o.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if t.Params[i] != o.Params[i] || t.Budget[i] != o.Budget[i] {
+			return false
+		}
+		if len(t.Lists[i]) != len(o.Lists[i]) {
+			return false
+		}
+		for j := range t.Lists[i] {
+			if t.Lists[i][j] != o.Lists[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // BudgetsFromTree derives per-node residual delay budgets
 // D_XS = D_PS − SP(P, x) from a shortest-delay tree rooted at the

@@ -33,7 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -94,6 +94,17 @@ type Config struct {
 	// ACK timeout (2*alpha + AckGuard), or delayed ACKs would read as link
 	// loss; the default sits 20x under the default AckGuard alone.
 	AckFlushInterval time.Duration
+	// DisableLinkState turns off the gossiped link-state control plane: the
+	// broker neither advertises wire.CapLinkState in its Hello nor emits
+	// LinkState/Probe frames, and routing falls back to the advert-only
+	// <d, r> plane. Like relay batching it is on by default and negotiated
+	// per link, so mixed overlays with legacy brokers need no configuration.
+	DisableLinkState bool
+	// LinkStateInterval paces the control loop: local estimates are
+	// re-flooded, idle links probed and route tables incrementally rebuilt
+	// at this cadence (default 100ms). This is the live monitoring window —
+	// a link death re-sorts sending lists within roughly one interval.
+	LinkStateInterval time.Duration
 	// DefaultDeadline applies to publishes that do not carry a deadline.
 	DefaultDeadline time.Duration
 	// Shards is the number of single-threaded engine shards the data plane
@@ -153,6 +164,9 @@ func (c Config) withDefaults() Config {
 	if c.AckFlushInterval <= 0 {
 		c.AckFlushInterval = time.Millisecond
 	}
+	if c.LinkStateInterval <= 0 {
+		c.LinkStateInterval = 100 * time.Millisecond
+	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = time.Second
 	}
@@ -190,6 +204,12 @@ type Broker struct {
 	// local subscriptions change, swapped in atomically.
 	routesSnap atomic.Pointer[routeSnapshot]
 	subsSnap   atomic.Pointer[subsSnapshot]
+
+	// ctrl is the gossiped link-state control plane (controlplane.go); nil
+	// with Config.DisableLinkState. ctrlSnap is its copy-on-write sending
+	// lists, consulted by the data plane before the advert-plane snapshot.
+	ctrl     *ctrlPlane
+	ctrlSnap atomic.Pointer[ctrlSnapshot]
 
 	// mu guards the cold-path control state below: client registry,
 	// subscription and routing tables (the data plane reads them only
@@ -274,11 +294,11 @@ type routeKey struct {
 type routeState struct {
 	deadline time.Duration
 	// params[neighborID] is the neighbor's advertised <d, r>.
-	params map[int]core.DR
-	own    core.DR
+	params map[int]algo1.DR
+	own    algo1.DR
 	list   []int
 	// advertised is the last value shared with neighbors.
-	advertised core.DR
+	advertised algo1.DR
 	haveAdv    bool
 }
 
@@ -344,6 +364,12 @@ func New(cfg Config) (*Broker, error) {
 	// SessionSub frames may arrive over pipe connections before a listener
 	// exists, and their deferred snapshot publishes need a running flusher.
 	b.goTracked(func() { b.subsFlusher() })
+	if !cfg.DisableLinkState {
+		b.ctrl = newCtrlPlane(b)
+		// The control loop starts with the broker for the same reason the
+		// shards do: pipe-attached tests gossip before a listener exists.
+		b.goTracked(func() { b.ctrl.loop() })
+	}
 	return b, nil
 }
 
@@ -503,12 +529,21 @@ type Stats struct {
 	AckBatches         uint64 // AckBatch frames sent to neighbors
 	AckFramesCoalesced uint64 // legacy Ack frames those batches replaced
 	RelayBytesSaved    uint64 // encoded bytes saved vs legacy relay framing
+	// Ctrl reports the gossiped link-state control plane (zeros with
+	// Config.DisableLinkState); Links is its database's current per-link
+	// EWMA estimates with each origin's last gossip epoch.
+	Ctrl  wire.CtrlStat
+	Links []wire.LinkStat
 }
 
 // Stats returns the current counters. All counters are atomic, so this
 // never contends with the data path.
 func (b *Broker) Stats() Stats {
+	ctrl, links := b.ctrlStats()
 	return Stats{
+		Ctrl:  ctrl,
+		Links: links,
+
 		Published:  b.published.Load(),
 		Delivered:  b.delivered.Load(),
 		Forwarded:  b.forwarded.Load(),
@@ -565,6 +600,7 @@ func (b *Broker) statsReply(token uint64) *wire.StatsReply {
 		AckFramesCoalesced: b.ackFramesCoalesced.Load(),
 		RelayBytesSaved:    b.relayBytesSaved.Load(),
 	}
+	reply.Ctrl, reply.Links = b.ctrlStats()
 
 	// Per-shard stats: a barrier run gives an on-shard view (mailbox depth
 	// plus the engine's in-flight group count); if the broker is shutting

@@ -18,6 +18,13 @@ type overlay struct {
 // newOverlay builds n brokers with the given undirected adjacency.
 func newOverlay(t *testing.T, n int, links [][2]int) *overlay {
 	t.Helper()
+	return newOverlayConfig(t, n, links, nil)
+}
+
+// newOverlayConfig is newOverlay with a per-broker Config hook, applied
+// after the base test config (ID included) is assembled.
+func newOverlayConfig(t *testing.T, n int, links [][2]int, mutate func(*Config)) *overlay {
+	t.Helper()
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range listeners {
@@ -38,7 +45,7 @@ func newOverlay(t *testing.T, n int, links [][2]int) *overlay {
 	}
 	o := &overlay{addrs: addrs}
 	for i := 0; i < n; i++ {
-		b, err := New(Config{
+		cfg := Config{
 			ID:              i,
 			Listen:          addrs[i],
 			Neighbors:       neighbors[i],
@@ -47,7 +54,11 @@ func newOverlay(t *testing.T, n int, links [][2]int) *overlay {
 			DialRetry:       20 * time.Millisecond,
 			AckGuard:        30 * time.Millisecond,
 			DefaultDeadline: 2 * time.Second,
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		b, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

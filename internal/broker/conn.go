@@ -12,7 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 	"repro/internal/wire"
 )
 
@@ -262,6 +262,18 @@ type neighborConn struct {
 	ackMu         sync.Mutex
 	pendingAcks   []uint64
 	ackFlushTimer *time.Timer
+
+	// Control-plane state (see controlplane.go). peerLinkState mirrors
+	// peerBatch for wire.CapLinkState. The fields below are guarded by mu:
+	// probeTok/probeAt track the single outstanding PROBE on this link,
+	// gammaAt is the last time any delivery signal (ACK outcome or probe
+	// echo) updated gamma, and dataSend maps sampled outbound frame IDs to
+	// send times for ACK-derived alpha samples.
+	peerLinkState atomic.Bool
+	probeTok      uint64
+	probeAt       time.Time
+	gammaAt       time.Time
+	dataSend      map[uint64]time.Time
 }
 
 // Link-estimate tuning.
@@ -327,8 +339,14 @@ func (nc *neighborConn) attach(b *Broker, conn net.Conn) {
 		_ = old.Close()
 	}
 	b.goTracked(func() {
-		b.runWriter(w, fmt.Sprintf("neighbor %d", nc.id), nc, func() { nc.detach(conn) })
+		b.runWriter(w, fmt.Sprintf("neighbor %d", nc.id), nc, func() {
+			nc.detach(conn)
+			// A dropped link must leave the flooded record set within one
+			// control step, not wait out the ticker.
+			b.ctrl.kickCtrl()
+		})
 	})
+	b.ctrl.kickCtrl()
 	// A dial or inbound handshake that completes while Close is tearing
 	// links down can install this connection after Close's pass over
 	// b.neighbors — nothing would ever close it and Close would wait on its
@@ -432,6 +450,7 @@ func (nc *neighborConn) ackSucceeded() {
 	if nc.gamma > 1 {
 		nc.gamma = 1
 	}
+	nc.gammaAt = time.Now()
 }
 
 // ackTimedOut decays gamma after a missed ACK.
@@ -442,6 +461,107 @@ func (nc *neighborConn) ackTimedOut() {
 	if nc.gamma < gammaFloor || math.IsNaN(nc.gamma) {
 		nc.gamma = gammaFloor
 	}
+	nc.gammaAt = time.Now()
+}
+
+// gammaSignalAt is the last time any delivery signal updated gamma.
+func (nc *neighborConn) gammaSignalAt() time.Time {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.gammaAt
+}
+
+// probeState returns the outstanding probe token (0 = none) and its send
+// time.
+func (nc *neighborConn) probeState() (uint64, time.Time) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.probeTok, nc.probeAt
+}
+
+// probeStart records one outgoing probe; at most one is ever outstanding.
+func (nc *neighborConn) probeStart(token uint64, at time.Time) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.probeTok, nc.probeAt = token, at
+}
+
+// probeExpire clears the outstanding probe if it is still the given one,
+// reporting whether the caller should decay gamma for it.
+func (nc *neighborConn) probeExpire(token uint64) bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.probeTok != token {
+		return false
+	}
+	nc.probeTok = 0
+	return true
+}
+
+// probeReply folds a probe echo into the link estimate: alpha from RTT/2,
+// gamma nudged up like a successful ACK. It reports whether the token
+// matched the outstanding probe.
+func (nc *neighborConn) probeReply(token uint64, now time.Time) bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if token == 0 || nc.probeTok != token {
+		return false
+	}
+	nc.probeTok = 0
+	sample := now.Sub(nc.probeAt) / 2
+	if sample <= 0 {
+		sample = time.Millisecond / 2
+	}
+	nc.alpha = time.Duration((1-alphaWeight)*float64(nc.alpha) + alphaWeight*float64(sample))
+	nc.gamma += gammaUp * (1 - nc.gamma)
+	if nc.gamma > 1 {
+		nc.gamma = 1
+	}
+	nc.gammaAt = now
+	return true
+}
+
+// noteDataSend samples one outbound data frame's send time so its
+// hop-by-hop ACK can feed alpha — real traffic measures the link, probes
+// and pings only fill the gaps. Sampling is bounded: at most
+// maxDataSamples frames are tracked, with entries older than a second
+// (ACKs lost) evicted to keep sampling alive on lossy links.
+func (nc *neighborConn) noteDataSend(frameID uint64, now time.Time) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.dataSend == nil {
+		nc.dataSend = make(map[uint64]time.Time, maxDataSamples)
+	}
+	if len(nc.dataSend) >= maxDataSamples {
+		for id, at := range nc.dataSend {
+			if now.Sub(at) > time.Second {
+				delete(nc.dataSend, id)
+			}
+		}
+		if len(nc.dataSend) >= maxDataSamples {
+			return
+		}
+	}
+	nc.dataSend[frameID] = now
+}
+
+// noteDataAck folds a returning ACK's round trip into alpha when the frame
+// was sampled. The sample includes the peer's ACK-coalescing delay, which
+// sits far inside the measurement tolerance (AckFlushInterval defaults to
+// 1ms against a 20ms-scale alpha).
+func (nc *neighborConn) noteDataAck(frameID uint64, now time.Time) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	sent, ok := nc.dataSend[frameID]
+	if !ok {
+		return
+	}
+	delete(nc.dataSend, frameID)
+	sample := now.Sub(sent) / 2
+	if sample <= 0 {
+		sample = time.Millisecond / 2
+	}
+	nc.alpha = time.Duration((1-alphaWeight)*float64(nc.alpha) + alphaWeight*float64(sample))
 }
 
 // clientConn is one connected publisher/subscriber with its writer pipeline.
@@ -513,7 +633,11 @@ func (b *Broker) handleNeighborConn(id int, name string, conn net.Conn) {
 	nc := b.neighbor(id)
 	nc.attach(b, conn)
 	nc.peerBatch.Store(wire.HasCap(name, wire.CapRelayBatch))
+	nc.peerLinkState.Store(wire.HasCap(name, wire.CapLinkState))
 	_ = nc.send(&wire.Hello{BrokerID: int32(b.cfg.ID), Name: b.helloName()})
+	if nc.linkStateTo(b) {
+		b.ctrl.syncTo(nc)
+	}
 	b.logf("neighbor %d connected (inbound)", id)
 	b.readNeighbor(nc, conn)
 }
@@ -579,6 +703,7 @@ func (b *Broker) dialLoop(id int, addr string) {
 // to handleNeighborMsg are recycled on the next frame, so handlers must not
 // retain them (or their slices) past return.
 func (b *Broker) readNeighbor(nc *neighborConn, conn net.Conn) {
+	defer b.ctrl.kickCtrl()
 	defer nc.detach(conn)
 	rd := wire.NewReader(bufio.NewReaderSize(conn, readBufSize))
 	for {
@@ -604,8 +729,17 @@ func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 	case *wire.Advert:
 		b.handleAdvert(nc.id, m)
 	case *wire.Ack:
+		if b.ctrl != nil {
+			nc.noteDataAck(m.FrameID, time.Now())
+		}
 		b.handleAck(m.FrameID)
 	case *wire.AckBatch:
+		if b.ctrl != nil {
+			now := time.Now()
+			for _, id := range m.FrameIDs {
+				nc.noteDataAck(id, now)
+			}
+		}
 		for _, id := range m.FrameIDs {
 			b.handleAck(id)
 		}
@@ -618,10 +752,18 @@ func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 			b.ackData(nc, d.FrameID)
 			b.handleData(nc.id, d)
 		}
+	case *wire.LinkState:
+		b.handleLinkState(nc, m)
+	case *wire.Probe:
+		b.handleProbe(nc, m)
 	case *wire.Hello:
 		// The acceptor's Hello reply: learn the peer's capabilities (the
 		// dialer's own capability tokens went out with dialLoop's Hello).
 		nc.peerBatch.Store(wire.HasCap(m.Name, wire.CapRelayBatch))
+		nc.peerLinkState.Store(wire.HasCap(m.Name, wire.CapLinkState))
+		if nc.linkStateTo(b) {
+			b.ctrl.syncTo(nc)
+		}
 	default:
 		b.logf("neighbor %d sent unexpected %v", nc.id, msg.Type())
 	}
@@ -730,12 +872,12 @@ func sleepUnlessDone(done <-chan struct{}, d time.Duration) bool {
 	}
 }
 
-// linkStats adapts neighbor estimates for core.BuildTable-style math.
-func (b *Broker) linkStats(id int) core.DR {
+// linkStats adapts neighbor estimates for algo1.BuildTable-style math.
+func (b *Broker) linkStats(id int) algo1.DR {
 	nc, ok := b.neighbors[id]
 	if !ok || !nc.connected() {
-		return core.Unreachable()
+		return algo1.Unreachable()
 	}
 	alpha, gamma := nc.estimate()
-	return core.LinkStats(alpha, gamma, b.cfg.M)
+	return algo1.LinkStats(alpha, gamma, b.cfg.M)
 }

@@ -54,6 +54,9 @@ func (b *Broker) helloName() string {
 	if !b.cfg.DisableRelayBatch {
 		name = wire.AddCap(name, wire.CapRelayBatch)
 	}
+	if !b.cfg.DisableLinkState {
+		name = wire.AddCap(name, wire.CapLinkState)
+	}
 	return name
 }
 
@@ -130,6 +133,14 @@ func (nc *neighborConn) resetRelay() {
 		nc.ackFlushTimer.Stop()
 	}
 	nc.ackMu.Unlock()
+	// Control-plane per-connection state resets with the link too: the next
+	// peer re-negotiates wire.CapLinkState, and probe/ACK samples from the
+	// old connection must not leak into the new one's estimates.
+	nc.peerLinkState.Store(false)
+	nc.mu.Lock()
+	nc.probeTok = 0
+	clear(nc.dataSend)
+	nc.mu.Unlock()
 }
 
 // appendAckBatch encodes the coalesced ACK set as one AckBatch frame onto

@@ -4,7 +4,7 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 	"repro/internal/wire"
 )
 
@@ -75,13 +75,13 @@ func (b *Broker) handleAdvert(from int, m *wire.Advert) {
 	b.mu.Lock()
 	rs := b.routes[key]
 	if rs == nil {
-		rs = &routeState{params: make(map[int]core.DR), own: core.Unreachable()}
+		rs = &routeState{params: make(map[int]algo1.DR), own: algo1.Unreachable()}
 		b.routes[key] = rs
 	}
 	if m.Gone {
 		delete(rs.params, from)
 	} else {
-		rs.params[from] = core.DR{D: m.D, R: m.R}
+		rs.params[from] = algo1.DR{D: m.D, R: m.R}
 		if m.Deadline > 0 {
 			rs.deadline = m.Deadline
 		}
@@ -185,7 +185,7 @@ func (b *Broker) refreshLocalDestinationsLocked() {
 		key := routeKey{topic: topic, sub: self}
 		rs := b.routes[key]
 		if rs == nil {
-			rs = &routeState{params: make(map[int]core.DR)}
+			rs = &routeState{params: make(map[int]algo1.DR)}
 			b.routes[key] = rs
 		}
 		rs.deadline = ts.maxDeadline()
@@ -196,7 +196,7 @@ func (b *Broker) refreshLocalDestinationsLocked() {
 			continue
 		}
 		if !b.topics[key.topic].occupied() {
-			rs.own = core.Unreachable()
+			rs.own = algo1.Unreachable()
 		}
 	}
 }
@@ -206,7 +206,7 @@ func (b *Broker) refreshLocalDestinationsLocked() {
 func (b *Broker) recomputeRouteLocked(key routeKey, rs *routeState) {
 	if key.sub == int32(b.cfg.ID) && b.topics[key.topic].occupied() {
 		// This broker is the destination: parameters are pinned.
-		rs.own = core.DR{D: 0, R: 1}
+		rs.own = algo1.DR{D: 0, R: 1}
 		rs.list = nil
 		return
 	}
@@ -215,7 +215,7 @@ func (b *Broker) recomputeRouteLocked(key routeKey, rs *routeState) {
 		budget = b.cfg.DefaultDeadline
 	}
 	ids := make([]int, 0, len(rs.params))
-	via := make([]core.DR, 0, len(rs.params))
+	via := make([]algo1.DR, 0, len(rs.params))
 	for nid, p := range rs.params {
 		if !p.Reachable() || p.D >= budget {
 			continue
@@ -225,16 +225,16 @@ func (b *Broker) recomputeRouteLocked(key routeKey, rs *routeState) {
 			continue
 		}
 		alpha, gamma := nc.estimate()
-		link := core.LinkStats(alpha, gamma, b.cfg.M)
-		v := core.Via(link, p)
+		link := algo1.LinkStats(alpha, gamma, b.cfg.M)
+		v := algo1.Via(link, p)
 		if !v.Reachable() {
 			continue
 		}
 		ids = append(ids, nid)
 		via = append(via, v)
 	}
-	core.SortByRatio(via, ids)
-	rs.own = core.Combine(via)
+	algo1.SortByRatio(via, ids)
+	rs.own = algo1.Combine(via)
 	rs.list = ids
 }
 

@@ -378,6 +378,28 @@ func runChaosSoak(t *testing.T, seed uint64, perPhase uint32) {
 		t.Error("no relay bytes saved despite relay batching enabled overlay-wide")
 	}
 
+	// Likewise the link-state control plane ran overlay-wide through the
+	// same churn: every broker must have gossiped, rebuilt tables from the
+	// gossip, and kept the data plane correct while doing it.
+	for i, b := range o.brokers {
+		st := b.Stats()
+		if !st.Ctrl.Enabled {
+			t.Errorf("broker %d: control plane disabled during soak", i)
+			continue
+		}
+		if st.Ctrl.LinkStatesSent == 0 || st.Ctrl.LinkStatesRecv == 0 {
+			t.Errorf("broker %d: no link-state gossip (sent=%d recv=%d)",
+				i, st.Ctrl.LinkStatesSent, st.Ctrl.LinkStatesRecv)
+		}
+		if st.Ctrl.Rebuilds == 0 || st.Ctrl.TablesBuilt == 0 {
+			t.Errorf("broker %d: control plane never rebuilt (rebuilds=%d tables=%d)",
+				i, st.Ctrl.Rebuilds, st.Ctrl.TablesBuilt)
+		}
+		if len(st.Links) == 0 {
+			t.Errorf("broker %d: empty link estimate table after soak", i)
+		}
+	}
+
 	for _, c := range subClients {
 		_ = c.Close()
 	}

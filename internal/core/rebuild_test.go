@@ -3,111 +3,15 @@ package core
 import (
 	"math/rand/v2"
 	"testing"
-	"testing/quick"
 	"time"
 
+	"repro/internal/algo1"
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/pubsub"
 	"repro/internal/topology"
 )
-
-// tablesEqual compares everything a table exposes to forwarding: the
-// <d, r> parameters, the ordered sending lists and the budgets. Rounds is
-// diagnostics (warm starts converge faster by design) and is excluded.
-func tablesEqual(a, b *Table) bool {
-	if (a == nil) != (b == nil) {
-		return false
-	}
-	if a == nil {
-		return true
-	}
-	if a.Subscriber != b.Subscriber || len(a.Params) != len(b.Params) {
-		return false
-	}
-	for i := range a.Params {
-		if a.Params[i] != b.Params[i] || a.Budget[i] != b.Budget[i] {
-			return false
-		}
-		if len(a.Lists[i]) != len(b.Lists[i]) {
-			return false
-		}
-		for j := range a.Lists[i] {
-			if a.Lists[i][j] != b.Lists[i][j] {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// TestWarmStartEqualsColdBuildProperty is the tentpole's correctness pin:
-// for random topologies, random link statistics and random per-epoch
-// perturbations (links degrading, recovering, dying and resurrecting), a
-// warm-started BuildTableIncremental must produce exactly the table a cold
-// build produces — params, lists and budgets bit-for-bit.
-func TestWarmStartEqualsColdBuildProperty(t *testing.T) {
-	f := func(seed uint64) bool {
-		rng := rand.New(rand.NewPCG(seed, 0x7eb))
-		n := 10 + int(seed%8) // 10..17 nodes
-		degree := 3 + int(seed%3)
-		if n*degree%2 != 0 {
-			degree--
-		}
-		g, err := topology.RandomRegular(n, degree, topology.DefaultDelayRange(), rng)
-		if err != nil {
-			return false
-		}
-		// Per-directed-link gamma, evolved across epochs; alpha stays the
-		// propagation delay (monitoring measures it exactly).
-		gamma := make([]float64, n*n)
-		for u := 0; u < n; u++ {
-			for _, e := range g.Neighbors(u) {
-				gamma[u*n+e.To] = 0.5 + rng.Float64()*0.5
-			}
-		}
-		stats := func(u, v int) (time.Duration, float64, bool) {
-			d, ok := g.LinkDelay(u, v)
-			if !ok {
-				return 0, 0, false
-			}
-			return d, gamma[u*n+v], true
-		}
-		sub := int(seed>>8) % n
-		tree := topology.Dijkstra(g, 0, nil)
-		budget := BudgetsFromTree(tree, 3*tree.Dist[sub]+10*time.Millisecond)
-		opts := BuildOptions{M: 1 + int(seed>>16)%2}
-
-		prev := BuildTable(g, stats, sub, budget, opts)
-		for epoch := 0; epoch < 6; epoch++ {
-			// Perturb ~30% of links; occasionally kill or resurrect one —
-			// the hard case for incremental rebuilds, because a dead link
-			// coming back can newly enter sending lists it never appeared in.
-			for u := 0; u < n; u++ {
-				for _, e := range g.Neighbors(u) {
-					switch {
-					case rng.Float64() < 0.05:
-						gamma[u*n+e.To] = 0
-					case rng.Float64() < 0.30:
-						gamma[u*n+e.To] = 0.4 + rng.Float64()*0.6
-					}
-				}
-			}
-			cold := BuildTable(g, stats, sub, budget, opts)
-			warm := BuildTableIncremental(g, NewSnapshot(g, stats, opts.M), sub, budget, prev, opts)
-			if !tablesEqual(cold, warm) {
-				t.Logf("seed %d epoch %d: warm table diverged from cold", seed, epoch)
-				return false
-			}
-			prev = warm
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Error(err)
-	}
-}
 
 // newRebuildEnv wires a full multi-topic DCRD deployment over a random
 // 16-node overlay with measurement-based monitoring. Construction is a pure
@@ -150,15 +54,9 @@ func newRebuildEnv(t *testing.T, seed uint64, samples int, opts RouterOptions) (
 }
 
 // snapshotTables records the router's current table pointers.
-func snapshotTables(r *Router) []map[int]*Table {
-	out := make([]map[int]*Table, len(r.tables))
-	for i, m := range r.tables {
-		cp := make(map[int]*Table, len(m))
-		for k, v := range m {
-			cp[k] = v
-		}
-		out[i] = cp
-	}
+func snapshotTables(r *Router) map[algo1.PairKey]*algo1.Table {
+	out := make(map[algo1.PairKey]*algo1.Table)
+	r.drv.Pairs(func(key algo1.PairKey, t *algo1.Table) { out[key] = t })
 	return out
 }
 
@@ -173,11 +71,9 @@ func TestRebuildUnchangedEstimatesIsNoOp(t *testing.T) {
 	sim.RunUntil(30 * time.Second)
 	r.Rebuild()
 	after := snapshotTables(r)
-	for topic := range before {
-		for sub, tab := range before[topic] {
-			if after[topic][sub] != tab {
-				t.Fatalf("topic %d sub %d: table replaced within one monitoring window", topic, sub)
-			}
+	for key, tab := range before {
+		if after[key] != tab {
+			t.Fatalf("pair %+v: table replaced within one monitoring window", key)
 		}
 	}
 }
@@ -192,11 +88,9 @@ func TestRebuildExactEstimatesIsNoOp(t *testing.T) {
 		sim.RunUntil(at)
 		r.Rebuild()
 		after := snapshotTables(r)
-		for topic := range before {
-			for sub, tab := range before[topic] {
-				if after[topic][sub] != tab {
-					t.Fatalf("topic %d sub %d: table replaced under exact estimates", topic, sub)
-				}
+		for key, tab := range before {
+			if after[key] != tab {
+				t.Fatalf("pair %+v: table replaced under exact estimates", key)
 			}
 		}
 	}
@@ -217,13 +111,11 @@ func TestRebuildMatchesColdAcrossWindows(t *testing.T) {
 		simCold.RunUntil(at)
 		inc.Rebuild()
 		cold.RebuildCold()
-		for topic := range cold.tables {
-			for sub, want := range cold.tables[topic] {
-				if got := inc.tables[topic][sub]; !tablesEqual(got, want) {
-					t.Fatalf("window %d topic %d sub %d: incremental table diverged from cold rebuild", w, topic, sub)
-				}
+		cold.drv.Pairs(func(key algo1.PairKey, want *algo1.Table) {
+			if got := inc.drv.Table(key); !got.Equal(want) {
+				t.Fatalf("window %d pair %+v: incremental table diverged from cold rebuild", w, key)
 			}
-		}
+		})
 	}
 }
 
@@ -240,12 +132,10 @@ func TestRebuildParallelMatchesSerial(t *testing.T) {
 		simPar.RunUntil(at)
 		serial.Rebuild()
 		par.Rebuild()
-		for topic := range serial.tables {
-			for sub, want := range serial.tables[topic] {
-				if got := par.tables[topic][sub]; !tablesEqual(got, want) {
-					t.Fatalf("window %d topic %d sub %d: parallel table diverged from serial", w, topic, sub)
-				}
+		serial.drv.Pairs(func(key algo1.PairKey, want *algo1.Table) {
+			if got := par.drv.Table(key); !got.Equal(want) {
+				t.Fatalf("window %d pair %+v: parallel table diverged from serial", w, key)
 			}
-		}
+		})
 	}
 }

@@ -1,11 +1,18 @@
+// Package core implements DCRD (Delay-Cognizant Reliable Delivery) over
+// the discrete-event simulator: it is the simulation shell around the two
+// shared, transport-agnostic engines. Algorithm 1 — the recursive <d, r>
+// parameters (Eq. 1–3), the Theorem-1 sending-list ordering and the
+// incremental route-table rebuild driver — lives in internal/algo1;
+// Algorithm 2 — dynamic forwarding with hop-by-hop ACKs, per-neighbor
+// failover and upstream rerouting — lives in internal/algo2. Router
+// adapts both onto netsim's links, monitoring windows and simulated clock.
 package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/algo1"
 	"repro/internal/algo2"
 	"repro/internal/des"
 	"repro/internal/metrics"
@@ -42,7 +49,7 @@ type RouterOptions struct {
 	// are installed in index order.
 	RebuildWorkers int
 	// Build tunes the Algorithm-1 table fixpoint.
-	Build BuildOptions
+	Build algo1.BuildOptions
 	// Tracer, when non-nil, receives a per-packet routing timeline
 	// (sends, ACK handoffs, timeouts, failovers, reroutes, deliveries).
 	Tracer trace.Recorder
@@ -84,17 +91,33 @@ type Router struct {
 	work *pubsub.Workload
 	col  *metrics.Collector
 	opts RouterOptions
-	// tables[topic][subscriberNode] is the Algorithm-1 route table for that
-	// (publisher, subscriber) pair.
-	tables []map[int]*Table
+	// drv owns the Algorithm-1 route tables for every (publisher,
+	// subscriber) pair and the incremental-rebuild state; simMonitor feeds
+	// it netsim's deterministic monitoring estimates.
+	drv    *algo1.Driver
 	shells []*nodeShell
 	pools  *algo2.Pools[des.EventID]
-	// Incremental-rebuild state: estVer is the monitoring-estimate version
-	// the current tables were built from, built marks that a first build
-	// happened, and changedBuf is the reusable changed-link scratch.
-	estVer     uint64
-	built      bool
-	changedBuf [][2]int
+}
+
+// simMonitor adapts netsim's monitoring model onto algo1.Deps: the
+// estimate version and per-window link estimates are read at the
+// simulator's current clock (a rebuild runs within one simulator event, so
+// the clock — and with it every estimate — is frozen for its duration).
+type simMonitor struct {
+	net *netsim.Network
+}
+
+func (m simMonitor) EstimateVersion() uint64 {
+	return m.net.EstimateVersion(m.net.Sim().Now())
+}
+
+func (m simMonitor) AppendChangedLinks(from, to uint64, dst [][2]int) [][2]int {
+	return m.net.AppendChangedEstimates(from, to, dst)
+}
+
+func (m simMonitor) LinkEstimate(u, v int) (time.Duration, float64, bool) {
+	est, ok := m.net.EstimateAt(u, v, m.net.Sim().Now())
+	return est.Alpha, est.Gamma, ok
 }
 
 // NewRouter builds route tables for every (publisher, subscriber) pair and
@@ -107,9 +130,22 @@ func NewRouter(net *netsim.Network, w *pubsub.Workload, col *metrics.Collector, 
 		work:   w,
 		col:    col,
 		opts:   opts,
-		tables: make([]map[int]*Table, len(w.Topics())),
+		drv: algo1.NewDriver(g, simMonitor{net: net}, algo1.DriverOptions{
+			Build:   opts.Build,
+			Workers: opts.RebuildWorkers,
+		}),
 		shells: make([]*nodeShell, g.N()),
 		pools:  algo2.NewPools[des.EventID](g.N()),
+	}
+	// Register every (topic, subscriber) pair up front, in workload order.
+	// Budgets depend only on the deadline and the (static) shortest-path
+	// tree, so one registration is authoritative across epochs.
+	for _, t := range w.Topics() {
+		tree := w.PublisherTree(t.ID)
+		for _, s := range t.Subscribers {
+			r.drv.SetPair(algo1.PairKey{Topic: int32(t.ID), Sub: int32(s.Node)},
+				s.Node, algo1.BudgetsFromTree(tree, s.Deadline))
+		}
 	}
 	r.Rebuild()
 	for id := 0; id < g.N(); id++ {
@@ -143,152 +179,19 @@ func (r *Router) Name() string { return "DCRD" }
 // their tables, and dirty pairs are warm-started from their previous
 // fixpoint. The resulting tables are exactly the tables a from-scratch
 // build would produce (see RebuildCold, which tests cross-check against).
-func (r *Router) Rebuild() {
-	now := r.net.Sim().Now()
-	ver := r.net.EstimateVersion(now)
-	var changed [][2]int
-	if r.built {
-		if ver == r.estVer {
-			return // same estimates, same tables
-		}
-		r.changedBuf = r.net.AppendChangedEstimates(r.estVer, ver, r.changedBuf[:0])
-		r.estVer = ver
-		if len(r.changedBuf) == 0 {
-			return // new window, identical estimates
-		}
-		changed = r.changedBuf
-	} else {
-		r.estVer = ver
-	}
-	r.rebuild(changed)
-	r.built = true
-}
-
-// rebuildJob is one dirty (topic, subscriber) pair queued for (re)building.
-type rebuildJob struct {
-	topic  int
-	sub    int
-	budget []time.Duration
-	prev   *Table
-}
-
-// rebuild (re)builds route tables against one shared snapshot of the
-// current estimates. A nil changed set means everything is dirty (the
-// initial build); otherwise only pairs the changed links can influence are
-// rebuilt, warm-started from their previous tables.
-func (r *Router) rebuild(changed [][2]int) {
-	g := r.net.Graph()
-	now := r.net.Sim().Now()
-	stats := func(u, v int) (time.Duration, float64, bool) {
-		est, ok := r.net.EstimateAt(u, v, now)
-		return est.Alpha, est.Gamma, ok
-	}
-	snap := NewSnapshot(g, stats, r.opts.Build.M)
-
-	var jobs []rebuildJob
-	for _, t := range r.work.Topics() {
-		if r.tables[t.ID] == nil {
-			r.tables[t.ID] = make(map[int]*Table, len(t.Subscribers))
-		}
-		for _, s := range t.Subscribers {
-			prev := r.tables[t.ID][s.Node]
-			var budget []time.Duration
-			if prev != nil {
-				// Budgets depend only on the deadline and the (static)
-				// shortest-path tree, so the previous table's copy is
-				// authoritative across epochs.
-				budget = prev.Budget
-				if changed != nil && !pairAffected(budget, s.Node, changed) {
-					continue
-				}
-			} else {
-				budget = BudgetsFromTree(r.work.PublisherTree(t.ID), s.Deadline)
-			}
-			jobs = append(jobs, rebuildJob{topic: t.ID, sub: s.Node, budget: budget, prev: prev})
-		}
-	}
-
-	results := make([]*Table, len(jobs))
-	if r.opts.RebuildWorkers > 1 && len(jobs) > 1 {
-		workers := r.opts.RebuildWorkers
-		if workers > len(jobs) {
-			workers = len(jobs)
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
-						return
-					}
-					j := jobs[i]
-					results[i] = BuildTableIncremental(g, snap, j.sub, j.budget, j.prev, r.opts.Build)
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		for i, j := range jobs {
-			results[i] = BuildTableIncremental(g, snap, j.sub, j.budget, j.prev, r.opts.Build)
-		}
-	}
-	for i, j := range jobs {
-		r.tables[j.topic][j.sub] = results[i]
-	}
-}
-
-// pairAffected reports whether any changed link can influence the pair's
-// Algorithm-1 fixpoint. A changed link (u, v) is relevant in direction
-// u→v only when u could ever send (positive residual budget) and v could
-// ever be admitted (it is the subscriber, whose parameters are pinned, or
-// it has a positive budget — a node with budget <= 0 admits nobody and so
-// stays Unreachable regardless of link statistics). This test is sound —
-// it never skips a pair whose table could differ — while budgets are
-// static per pair, so it costs O(changed links) per pair and no rebuild.
-func pairAffected(budget []time.Duration, sub int, changed [][2]int) bool {
-	for _, l := range changed {
-		u, v := l[0], l[1]
-		if budget[u] > 0 && (v == sub || budget[v] > 0) {
-			return true
-		}
-		if budget[v] > 0 && (u == sub || budget[u] > 0) {
-			return true
-		}
-	}
-	return false
-}
+func (r *Router) Rebuild() { r.drv.Rebuild() }
 
 // RebuildCold re-runs Algorithm 1 from scratch for every (publisher,
 // subscriber) pair — the pre-incremental reference implementation, kept as
 // the correctness oracle: tests and benchmarks cross-check Rebuild's
-// incremental tables (and measure its speedup) against this path. Each
-// pair pays for its own link-stats snapshot and a cold Jacobi start.
-func (r *Router) RebuildCold() {
-	g := r.net.Graph()
-	now := r.net.Sim().Now()
-	stats := func(u, v int) (time.Duration, float64, bool) {
-		est, ok := r.net.EstimateAt(u, v, now)
-		return est.Alpha, est.Gamma, ok
-	}
-	for _, t := range r.work.Topics() {
-		r.tables[t.ID] = make(map[int]*Table, len(t.Subscribers))
-		tree := r.work.PublisherTree(t.ID)
-		for _, s := range t.Subscribers {
-			budgets := BudgetsFromTree(tree, s.Deadline)
-			r.tables[t.ID][s.Node] = BuildTable(g, stats, s.Node, budgets, r.opts.Build)
-		}
-	}
-	r.estVer = r.net.EstimateVersion(now)
-	r.built = true
-}
+// incremental tables (and measure its speedup) against this path.
+func (r *Router) RebuildCold() { r.drv.RebuildCold() }
 
 // Table exposes the route table for a (topic, subscriber) pair, mainly for
 // tests and diagnostics.
-func (r *Router) Table(topic, sub int) *Table { return r.tables[topic][sub] }
+func (r *Router) Table(topic, sub int) *algo1.Table {
+	return r.drv.Table(algo1.PairKey{Topic: int32(topic), Sub: int32(sub)})
+}
 
 // Publish injects a freshly published packet at its source broker, which
 // becomes responsible for all subscriber destinations of the topic.
@@ -384,8 +287,8 @@ func (sh *nodeShell) Send(f *algo2.Frame) {
 
 // SendingList looks the Theorem-1 list up in the Algorithm-1 tables.
 func (sh *nodeShell) SendingList(topic int32, dest int) []int {
-	table, ok := sh.r.tables[topic][dest]
-	if !ok {
+	table := sh.r.drv.Table(algo1.PairKey{Topic: topic, Sub: int32(dest)})
+	if table == nil {
 		return nil
 	}
 	return table.List(sh.id)

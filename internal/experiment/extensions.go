@@ -3,7 +3,7 @@ package experiment
 import (
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 )
 
 // This file implements experiments beyond the paper's published evaluation:
@@ -23,8 +23,8 @@ func AblationOrdering(opts FigureOptions) ([]FigureTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	orderings := []core.Ordering{
-		core.RatioOrder, core.DelayOrder, core.ReliabilityOrder, core.ArbitraryOrder,
+	orderings := []algo1.Ordering{
+		algo1.RatioOrder, algo1.DelayOrder, algo1.ReliabilityOrder, algo1.ArbitraryOrder,
 	}
 	xs := failureProbabilities()
 	qos := FigureTable{

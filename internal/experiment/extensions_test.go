@@ -4,7 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 )
 
 func TestOrderingAblationRatioWins(t *testing.T) {
@@ -14,7 +14,7 @@ func TestOrderingAblationRatioWins(t *testing.T) {
 	s.Duration = 40 * time.Second
 	s.Degree = 5
 	s.Pf = 0.08
-	run := func(ord core.Ordering) float64 {
+	run := func(ord algo1.Ordering) float64 {
 		s := s
 		s.Ordering = ord
 		res, err := RunOne(s, DCRD, 0)
@@ -23,13 +23,13 @@ func TestOrderingAblationRatioWins(t *testing.T) {
 		}
 		return res.QoSDeliveryRatio()
 	}
-	ratio := run(core.RatioOrder)
-	arbitrary := run(core.ArbitraryOrder)
+	ratio := run(algo1.RatioOrder)
+	arbitrary := run(algo1.ArbitraryOrder)
 	if ratio+0.02 < arbitrary {
 		t.Errorf("Theorem-1 order (%.4f) lost to arbitrary order (%.4f)", ratio, arbitrary)
 	}
 	// Every ordering still delivers (ordering never affects r, only d).
-	for _, ord := range []core.Ordering{core.DelayOrder, core.ReliabilityOrder} {
+	for _, ord := range []algo1.Ordering{algo1.DelayOrder, algo1.ReliabilityOrder} {
 		if q := run(ord); q <= 0.5 {
 			t.Errorf("ordering %v collapsed to QoS ratio %v", ord, q)
 		}
@@ -37,11 +37,11 @@ func TestOrderingAblationRatioWins(t *testing.T) {
 }
 
 func TestOrderingStrings(t *testing.T) {
-	for ord, want := range map[core.Ordering]string{
-		core.RatioOrder:       "d/r (Theorem 1)",
-		core.DelayOrder:       "delay-only",
-		core.ReliabilityOrder: "reliability-only",
-		core.ArbitraryOrder:   "arbitrary",
+	for ord, want := range map[algo1.Ordering]string{
+		algo1.RatioOrder:       "d/r (Theorem 1)",
+		algo1.DelayOrder:       "delay-only",
+		algo1.ReliabilityOrder: "reliability-only",
+		algo1.ArbitraryOrder:   "arbitrary",
 	} {
 		if ord.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(ord), ord.String(), want)

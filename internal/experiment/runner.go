@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/algo1"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/des"
@@ -240,7 +241,7 @@ func newProtocol(a Approach, net *netsim.Network, w *pubsub.Workload, col *metri
 			M:           s.M,
 			Persistent:  s.Persistent,
 			MaxLifetime: s.MaxLifetime,
-			Build:       core.BuildOptions{Ordering: s.Ordering},
+			Build:       algo1.BuildOptions{Ordering: s.Ordering},
 			Tracer:      s.Tracer,
 		})
 	case RTree:

@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/algo1"
 	"repro/internal/trace"
 )
 
@@ -91,7 +91,7 @@ type Scenario struct {
 	NodeFailureProb float64
 	// Ordering overrides DCRD's sending-list policy for ablation
 	// (default: the Theorem-1 d/r order).
-	Ordering core.Ordering
+	Ordering algo1.Ordering
 	// Persistent enables DCRD's §III persistency mode.
 	Persistent bool
 	// LinkBandwidth caps each link direction at this many frames/s

@@ -66,6 +66,24 @@ func FuzzWireRead(f *testing.F) {
 	overflow = binary.AppendVarint(overflow, int64(math.MaxInt32)+1)
 	overflow = append(overflow, 0, 0) // empty Path, empty Payload
 	f.Add(append(binary.BigEndian.AppendUint32(nil, uint32(len(overflow))), overflow...))
+	// Control-plane tier: a LinkState withdrawing every link (zero records —
+	// valid, and the smallest flood a peer can send)...
+	f.Add(AppendFrame(nil, &LinkState{Origin: 1, Epoch: 2}))
+	// ...one whose record count (uvarint 200) exceeds the remaining body...
+	f.Add([]byte{0, 0, 0, 15, byte(TypeLinkState),
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xC8, 0x01})
+	// ...one whose single record starts with an overlong (>10 byte) varint To...
+	f.Add(append([]byte{0, 0, 0, 25, byte(TypeLinkState),
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02))
+	// ...one whose To delta reconstructs a node ID beyond int32...
+	lsOverflow := []byte{byte(TypeLinkState), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	lsOverflow = binary.AppendVarint(lsOverflow, int64(math.MaxInt32)+1)
+	lsOverflow = binary.AppendVarint(lsOverflow, 0)
+	lsOverflow = append(lsOverflow, 0, 0, 0, 0, 0, 0, 0, 0) // Gamma
+	f.Add(append(binary.BigEndian.AppendUint32(nil, uint32(len(lsOverflow))), lsOverflow...))
+	// ...and a Probe truncated mid token (decoders must reject).
+	f.Add([]byte{0, 0, 0, 5, byte(TypeProbe), 1, 2, 3, 4})
 
 	// equal is DeepEqual with a fallback for frames carrying NaN floats
 	// (an Advert's R is decoded straight from the wire, and arbitrary input

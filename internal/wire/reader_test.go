@@ -73,6 +73,13 @@ func allTypesCorpus() []Message {
 			},
 		}},
 		&DataBatch{Frames: []Data{{FrameID: 1, PacketID: 2, PublishedAt: time.Unix(0, 0)}}},
+		&LinkState{Origin: 3, Epoch: 17, Links: []LinkRecord{
+			{To: 1, Alpha: 12 * time.Millisecond, Gamma: 0.97},
+			{To: 9, Alpha: 40 * time.Millisecond, Gamma: 0}, // withdrawal
+		}},
+		&LinkState{Origin: 0, Epoch: 1}, // zero records: withdraws all links
+		&Probe{Token: 0xDEAD},
+		&Probe{Token: 0xDEAD, Reply: true},
 	}
 }
 

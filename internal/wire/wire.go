@@ -83,6 +83,16 @@ const (
 	// wire frame with delta-compressed headers and node lists. Only sent to
 	// peers that advertised CapRelayBatch in their Hello.
 	TypeDataBatch
+	// TypeLinkState floods one broker's measured per-link <alpha, gamma>
+	// estimates through the overlay (the live control plane's Algorithm-1
+	// monitoring gossip). Only sent to peers that advertised CapLinkState
+	// in their Hello.
+	TypeLinkState
+	// TypeProbe measures delay and delivery on idle links: the receiver
+	// echoes the frame with Reply set, feeding the sender's alpha/gamma
+	// estimates when no data traffic exercises the link. Only sent to peers
+	// that advertised CapLinkState in their Hello.
+	TypeProbe
 )
 
 // String returns the message type name.
@@ -124,6 +134,10 @@ func (t Type) String() string {
 		return "ACK_BATCH"
 	case TypeDataBatch:
 		return "DATA_BATCH"
+	case TypeLinkState:
+		return "LINK_STATE"
+	case TypeProbe:
+		return "PROBE"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -164,6 +178,13 @@ type Hello struct {
 // either frame type to a peer that did not advertise the token — an
 // unknown frame type errors a legacy reader and drops the connection.
 const CapRelayBatch = "cap:relay-batch"
+
+// CapLinkState is the Hello.Name capability token advertising that the
+// sender runs the live Algorithm-1 control plane: it understands LinkState
+// and Probe frames. A broker never emits either frame type to a peer that
+// did not advertise the token, so legacy brokers keep running on their
+// advert-provisioned tables with a byte-identical frame stream.
+const CapLinkState = "cap:link-state"
 
 // AddCap appends a capability token to a Hello name.
 func AddCap(name, token string) string {
@@ -232,6 +253,41 @@ type Advert struct {
 	// Gone marks a withdrawn route (subscriber unsubscribed or became
 	// unreachable); receivers must treat the pair as unreachable.
 	Gone bool
+}
+
+// LinkRecord is one directed overlay link's monitored estimate inside a
+// LinkState flood: the origin broker's single-transmission expected delay
+// (alpha, from ping RTTs and ACK timing) and delivery ratio (gamma, from
+// hop-by-hop ACK outcomes and probes) toward neighbor To. A Gamma of 0
+// withdraws the link (down or partitioned).
+type LinkRecord struct {
+	To    int32
+	Alpha time.Duration
+	Gamma float64
+}
+
+// LinkState floods one broker's full measured neighbor set through the
+// overlay. Origin stamps the measuring broker; Epoch is origin-local and
+// strictly increasing (receivers drop stale or replayed floods and re-flood
+// newer ones to their other capable neighbors), so every broker converges
+// on each origin's latest record set regardless of gossip path. Receivers
+// diff the records against the origin's previous set — the deltas are
+// exactly the changed-link sets the incremental Algorithm-1 rebuild keys
+// on, so a flood that changes nothing costs no table work.
+type LinkState struct {
+	Origin int32
+	Epoch  uint64
+	Links  []LinkRecord
+}
+
+// Probe measures an idle link: the sender stamps Token, the receiver
+// echoes the frame back with Reply set, and the echo's round trip feeds
+// the sender's alpha estimate while its arrival (or timeout) feeds gamma —
+// the same signals data traffic produces via ACK timing, at a low fixed
+// rate when there is no data traffic to piggyback on.
+type Probe struct {
+	Token uint64
+	Reply bool
 }
 
 // Ping/Pong measure link RTT. Token echoes back verbatim.
@@ -324,6 +380,46 @@ type NeighborStat struct {
 	Gamma     float64
 }
 
+// LinkStat is one directed link of the broker's gossip-fed link-state
+// view: origin From measured <Alpha, Gamma> toward To, last updated by
+// From's flood Epoch. Unlike NeighborStat (this broker's own links only),
+// LinkStats cover every link the control plane knows overlay-wide.
+type LinkStat struct {
+	From  int32
+	To    int32
+	Alpha time.Duration
+	Gamma float64
+	Epoch uint64
+}
+
+// CtrlStat reports the live Algorithm-1 control plane's state.
+type CtrlStat struct {
+	// Enabled is false when the broker runs without CapLinkState (legacy
+	// provisioned-table mode).
+	Enabled bool
+	// Epoch is the broker's own flood epoch (the last LinkState it
+	// originated).
+	Epoch uint64
+	// Version is the link-state database's estimate version; it advances
+	// whenever a flood actually changes an estimate.
+	Version uint64
+	// Rebuilds counts control-plane epochs that rebuilt at least one route
+	// table; Noops counts epochs that were pointer-identity no-ops.
+	Rebuilds uint64
+	Noops    uint64
+	// TablesBuilt is the total number of per-pair fixpoint builds.
+	TablesBuilt uint64
+	// LinkStatesSent / LinkStatesRecv count LinkState frames exchanged
+	// (floods originated, forwarded and received).
+	LinkStatesSent uint64
+	LinkStatesRecv uint64
+	// StaleDrops counts received floods dropped as stale-epoch replays.
+	StaleDrops uint64
+	// ProbesSent / ProbeReplies count idle-link probes and their echoes.
+	ProbesSent   uint64
+	ProbeReplies uint64
+}
+
 // RouteStat is one (topic, subscriber broker) routing-table entry.
 type RouteStat struct {
 	Topic   int32
@@ -364,9 +460,13 @@ type StatsReply struct {
 	AckBatches         uint64
 	AckFramesCoalesced uint64
 	RelayBytesSaved    uint64
-	Neighbors          []NeighborStat
-	Routes        []RouteStat
-	Shards        []ShardStat
+	Neighbors []NeighborStat
+	Routes    []RouteStat
+	Shards    []ShardStat
+	// Links is the gossip-fed overlay-wide link view; Ctrl summarizes the
+	// live control plane driving it.
+	Links []LinkStat
+	Ctrl  CtrlStat
 }
 
 // interface conformance
@@ -389,6 +489,8 @@ var (
 	_ Message = (*MuxDeliver)(nil)
 	_ Message = (*AckBatch)(nil)
 	_ Message = (*DataBatch)(nil)
+	_ Message = (*LinkState)(nil)
+	_ Message = (*Probe)(nil)
 )
 
 // Type implementations.
@@ -410,6 +512,8 @@ func (*SessionUnsub) Type() Type { return TypeSessionUnsub }
 func (*MuxDeliver) Type() Type   { return TypeMuxDeliver }
 func (*AckBatch) Type() Type     { return TypeAckBatch }
 func (*DataBatch) Type() Type    { return TypeDataBatch }
+func (*LinkState) Type() Type    { return TypeLinkState }
+func (*Probe) Type() Type        { return TypeProbe }
 
 // AppendFrame appends one complete encoded frame for msg — length header,
 // type tag and body — to dst and returns the extended slice. It never
@@ -529,6 +633,8 @@ type Reader struct {
 	muxDeliver   MuxDeliver
 	ackBatch     AckBatch
 	dataBatch    DataBatch
+	linkState    LinkState
+	probe        Probe
 }
 
 // NewReader returns a Reader decoding frames from r.
@@ -611,6 +717,10 @@ func (rd *Reader) message(t Type) Message {
 		return &rd.ackBatch
 	case TypeDataBatch:
 		return &rd.dataBatch
+	case TypeLinkState:
+		return &rd.linkState
+	case TypeProbe:
+		return &rd.probe
 	default:
 		return nil
 	}
@@ -655,6 +765,10 @@ func newMessage(t Type) (Message, error) {
 		return &AckBatch{}, nil
 	case TypeDataBatch:
 		return &DataBatch{}, nil
+	case TypeLinkState:
+		return &LinkState{}, nil
+	case TypeProbe:
+		return &Probe{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}
@@ -1130,6 +1244,25 @@ func (m *StatsReply) appendBody(dst []byte) []byte {
 		dst = appendU64(dst, sh.Processed)
 		dst = appendI32(dst, sh.Inflight)
 	}
+	dst = appendU16(dst, uint16(len(m.Links)))
+	for _, l := range m.Links {
+		dst = appendI32(dst, l.From)
+		dst = appendI32(dst, l.To)
+		dst = appendI64(dst, int64(l.Alpha))
+		dst = appendF64(dst, l.Gamma)
+		dst = appendU64(dst, l.Epoch)
+	}
+	dst = appendBool(dst, m.Ctrl.Enabled)
+	dst = appendU64(dst, m.Ctrl.Epoch)
+	dst = appendU64(dst, m.Ctrl.Version)
+	dst = appendU64(dst, m.Ctrl.Rebuilds)
+	dst = appendU64(dst, m.Ctrl.Noops)
+	dst = appendU64(dst, m.Ctrl.TablesBuilt)
+	dst = appendU64(dst, m.Ctrl.LinkStatesSent)
+	dst = appendU64(dst, m.Ctrl.LinkStatesRecv)
+	dst = appendU64(dst, m.Ctrl.StaleDrops)
+	dst = appendU64(dst, m.Ctrl.ProbesSent)
+	dst = appendU64(dst, m.Ctrl.ProbeReplies)
 	return dst
 }
 
@@ -1246,7 +1379,64 @@ func (m *StatsReply) decode(r *reader) (err error) {
 		}
 		m.Shards = append(m.Shards, sh)
 	}
-	return nil
+	m.Links = m.Links[:0]
+	nl, err := r.u16()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nl); i++ {
+		var l LinkStat
+		if l.From, err = r.i32(); err != nil {
+			return err
+		}
+		if l.To, err = r.i32(); err != nil {
+			return err
+		}
+		alpha, err := r.i64()
+		if err != nil {
+			return err
+		}
+		l.Alpha = time.Duration(alpha)
+		if l.Gamma, err = r.f64(); err != nil {
+			return err
+		}
+		if l.Epoch, err = r.u64(); err != nil {
+			return err
+		}
+		m.Links = append(m.Links, l)
+	}
+	if m.Ctrl.Enabled, err = r.boolean(); err != nil {
+		return err
+	}
+	if m.Ctrl.Epoch, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.Version, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.Rebuilds, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.Noops, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.TablesBuilt, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.LinkStatesSent, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.LinkStatesRecv, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.StaleDrops, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Ctrl.ProbesSent, err = r.u64(); err != nil {
+		return err
+	}
+	m.Ctrl.ProbeReplies, err = r.u64()
+	return err
 }
 
 func (m *Deliver) appendBody(dst []byte) []byte {
@@ -1489,4 +1679,75 @@ func (m *DataBatch) decode(r *reader) error {
 		}
 	}
 	return nil
+}
+
+// linkStateMinEntry is the smallest possible encoded LinkRecord: a one-byte
+// To varint, a one-byte alpha varint and the fixed eight-byte gamma.
+// Bounds-checking the claimed count against it (DATA_BATCH's division form)
+// keeps a hostile count from forcing a giant Links allocation.
+const linkStateMinEntry = 10
+
+func (m *LinkState) appendBody(dst []byte) []byte {
+	dst = appendI32(dst, m.Origin)
+	dst = appendU64(dst, m.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Links)))
+	for _, l := range m.Links {
+		dst = binary.AppendVarint(dst, int64(l.To))
+		dst = binary.AppendVarint(dst, int64(l.Alpha))
+		dst = appendF64(dst, l.Gamma)
+	}
+	return dst
+}
+
+func (m *LinkState) decode(r *reader) (err error) {
+	if m.Origin, err = r.i32(); err != nil {
+		return err
+	}
+	if m.Epoch, err = r.u64(); err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// A zero-count flood is valid: it withdraws every link the origin
+	// previously advertised (the broker lost all its neighbors).
+	if n > uint64(len(r.buf))/linkStateMinEntry {
+		return ErrTruncated
+	}
+	m.Links = m.Links[:0]
+	for i := uint64(0); i < n; i++ {
+		var l LinkRecord
+		to, err := r.varint()
+		if err != nil {
+			return err
+		}
+		if to < math.MinInt32 || to > math.MaxInt32 {
+			return fmt.Errorf("wire: LINK_STATE node ID %d overflows int32", to)
+		}
+		l.To = int32(to)
+		alpha, err := r.varint()
+		if err != nil {
+			return err
+		}
+		l.Alpha = time.Duration(alpha)
+		if l.Gamma, err = r.f64(); err != nil {
+			return err
+		}
+		m.Links = append(m.Links, l)
+	}
+	return nil
+}
+
+func (m *Probe) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Token)
+	return appendBool(dst, m.Reply)
+}
+
+func (m *Probe) decode(r *reader) (err error) {
+	if m.Token, err = r.u64(); err != nil {
+		return err
+	}
+	m.Reply, err = r.boolean()
+	return err
 }

@@ -69,6 +69,16 @@ func TestRoundTripAllTypes(t *testing.T) {
 				{Depth: 0, Enqueued: 1000, Processed: 1000, Inflight: 0},
 				{Depth: 12, Enqueued: 5000, Processed: 4988, Inflight: 37},
 			},
+			Links: []LinkStat{
+				{From: 2, To: 1, Alpha: 11 * time.Millisecond, Gamma: 0.98, Epoch: 40},
+				{From: 5, To: 2, Alpha: 33 * time.Millisecond, Gamma: 0.5, Epoch: 12},
+			},
+			Ctrl: CtrlStat{
+				Enabled: true, Epoch: 41, Version: 19,
+				Rebuilds: 7, Noops: 30, TablesBuilt: 21,
+				LinkStatesSent: 88, LinkStatesRecv: 90, StaleDrops: 2,
+				ProbesSent: 14, ProbeReplies: 13,
+			},
 		},
 		&StatsReply{Token: 1, BrokerID: 0},
 		&SessionHello{Subscribers: 100000},
@@ -104,6 +114,14 @@ func TestRoundTripAllTypes(t *testing.T) {
 			},
 		}},
 		&DataBatch{Frames: []Data{{PublishedAt: time.Unix(0, 0)}}},
+		&LinkState{Origin: 4, Epoch: 1720000000, Links: []LinkRecord{
+			{To: 0, Alpha: 5 * time.Millisecond, Gamma: 0.999},
+			{To: 7, Alpha: 80 * time.Millisecond, Gamma: 0.25},
+			{To: 2, Alpha: 0, Gamma: 0}, // withdrawn link
+		}},
+		&LinkState{Origin: -1, Epoch: 0},
+		&Probe{Token: 1 << 63},
+		&Probe{Token: 0, Reply: true},
 	}
 	for _, msg := range tests {
 		t.Run(msg.Type().String(), func(t *testing.T) {
@@ -205,6 +223,7 @@ func TestTypeStrings(t *testing.T) {
 		TypeSessionHello: "SESSION_HELLO", TypeSessionSub: "SESSION_SUB",
 		TypeSessionUnsub: "SESSION_UNSUB", TypeMuxDeliver: "MUX_DELIVER",
 		TypeAckBatch: "ACK_BATCH", TypeDataBatch: "DATA_BATCH",
+		TypeLinkState: "LINK_STATE", TypeProbe: "PROBE",
 	} {
 		if ty.String() != want {
 			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)

@@ -6,7 +6,7 @@
 #   scripts/bench.sh [out.json]     # snapshot a run to out.json
 #   scripts/bench.sh -check         # diff a fresh run against the baseline
 #
-# Runs three suites with -benchmem, 5 counts each:
+# Runs four suites with -benchmem, 5 counts each:
 #   - Approach*, Figure2 and Rebuild (root package): full-simulation cost
 #   - BenchmarkWire* (internal/wire): codec encode/decode cost and allocs
 #   - BenchmarkBroker*, BenchmarkEdge* and BenchmarkRelayChain
@@ -16,6 +16,10 @@
 #     multiplexed delivery), and the relay-plane aggregation benchmark
 #     (bytes/packet, frames/packet across a 3-broker chain, legacy framing
 #     vs negotiated DATA_BATCH/ACK_BATCH)
+#   - BenchmarkControlPlaneEpoch (internal/algo1): one control-loop epoch
+#     through the shared incremental rebuild engine — the quiet
+#     (pointer-identity no-op) and dirty (sparse gossip delta, warm-start)
+#     paths the live broker's LinkStateInterval tick takes
 # saves the raw `go test` output next to the JSON (for benchstat), and writes
 # the per-benchmark mean ns/op, B/op, allocs/op and custom metrics
 # (qos_ratio, msgs/sec, ...) to out.json (default: BENCH_current.json).
@@ -50,11 +54,12 @@ run_all() {
 	# Edge fan-out and the relay chain are one publish per op — at 2x the
 	# numbers are all setup noise, so they get a long fixed iteration count.
 	go test -run '^$' -bench 'Edge|RelayChain' -benchmem -count 5 -benchtime 1000x ./internal/broker
+	go test -run '^$' -bench 'ControlPlaneEpoch' -benchmem -count 5 ./internal/algo1
 }
 
 if [ "${1:-}" = "-check" ]; then
 	run_all | go run ./cmd/benchjson -check BENCH_baseline.json \
-		-require 'BenchmarkBrokerSharded/cpus=8,BenchmarkEdgeFanout/mux,BenchmarkRelayChain/batch'
+		-require 'BenchmarkBrokerSharded/cpus=8,BenchmarkEdgeFanout/mux,BenchmarkRelayChain/batch,BenchmarkControlPlaneEpoch/quiet,BenchmarkControlPlaneEpoch/dirty'
 	exit
 fi
 
