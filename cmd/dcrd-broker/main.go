@@ -64,6 +64,7 @@ func run(logger *log.Logger) error {
 		deadline   = fs.Duration("default-deadline", time.Second, "deadline applied when clients do not specify one")
 		verbose    = fs.Bool("v", false, "log routing and forwarding events")
 		configPath = fs.String("config", "", "overlay JSON file; -id selects this broker (overrides -listen/-neighbor)")
+		dataDir    = fs.String("datadir", "", "directory for the crash-durable custody WAL; empty keeps custody in memory")
 	)
 	fs.Var(neighbors, "neighbor", "neighbor broker as id=addr (repeatable)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -94,6 +95,9 @@ func run(logger *log.Logger) error {
 			M:               *m,
 			DefaultDeadline: *deadline,
 		}
+	}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
 	}
 	if *verbose {
 		cfg.Logger = logger

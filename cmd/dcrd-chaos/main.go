@@ -5,8 +5,14 @@
 // pooled engine objects. It is the soak test in executable form — handy for
 // longer runs, other seeds and fault mixes than CI budgets allow.
 //
+// With -datadir every broker journals custody to a write-ahead log under
+// the given root, and -crash-mid-traffic makes the crash an abrupt one —
+// no drain first, un-fsynced state lost — which exactly-once must survive
+// via WAL replay and upstream retransmission (DESIGN.md §16).
+//
 //	dcrd-chaos -seed 7 -packets 300
 //	dcrd-chaos -brokers 10 -pf 0.3 -loss 0.1 -crash=false
+//	dcrd-chaos -datadir /tmp/dcrd-wal -crash-mid-traffic
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -37,15 +44,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dcrd-chaos", flag.ContinueOnError)
 	var (
-		seed    = fs.Uint64("seed", 1, "chaos seed; same seed, same fault schedule")
-		nBrok   = fs.Int("brokers", 8, "overlay size (even, >= 6)")
-		packets = fs.Int("packets", 90, "packets to publish (split into three phases)")
-		pace    = fs.Duration("pace", 4*time.Millisecond, "gap between publishes")
-		epoch   = fs.Duration("epoch", 150*time.Millisecond, "partition epoch length")
-		pf      = fs.Float64("pf", 0.2, "per-epoch link failure probability (paper's Pf)")
-		loss    = fs.Float64("loss", 0.05, "per-frame loss probability (Pl)")
-		resets  = fs.Float64("resets", 0.004, "per-frame connection reset probability")
-		crash   = fs.Bool("crash", true, "crash and restart one relay broker mid-run")
+		seed     = fs.Uint64("seed", 1, "chaos seed; same seed, same fault schedule")
+		nBrok    = fs.Int("brokers", 8, "overlay size (even, >= 6)")
+		packets  = fs.Int("packets", 90, "packets to publish (split into three phases)")
+		pace     = fs.Duration("pace", 4*time.Millisecond, "gap between publishes")
+		epoch    = fs.Duration("epoch", 150*time.Millisecond, "partition epoch length")
+		pf       = fs.Float64("pf", 0.2, "per-epoch link failure probability (paper's Pf)")
+		loss     = fs.Float64("loss", 0.05, "per-frame loss probability (Pl)")
+		resets   = fs.Float64("resets", 0.004, "per-frame connection reset probability")
+		crash    = fs.Bool("crash", true, "crash and restart one relay broker mid-run")
+		dataDir  = fs.String("datadir", "", "root for per-broker WAL directories; empty keeps custody in memory")
+		crashMid = fs.Bool("crash-mid-traffic", false, "crash the relay without draining first (requires -datadir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +64,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *packets < 3 {
 		return fmt.Errorf("-packets must be >= 3, got %d", *packets)
+	}
+	if *crashMid && *dataDir == "" {
+		return fmt.Errorf("-crash-mid-traffic needs -datadir: without durable custody, " +
+			"a mid-traffic crash legitimately loses ACKed packets")
 	}
 
 	cn := chaos.NewNetwork(chaos.Config{
@@ -73,7 +86,7 @@ func run(args []string, out io.Writer) error {
 	defer cn.Close()
 	cn.SetActive(false) // converge clean, then churn
 
-	ov, err := buildOverlay(cn, *nBrok)
+	ov, err := buildOverlay(cn, *nBrok, *dataDir)
 	if err != nil {
 		return err
 	}
@@ -133,14 +146,25 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *crash {
-		// Drain before the crash: hop-by-hop custody is in-memory, so a
-		// crashing broker may legitimately lose packets it has ACKed.
-		if !waitUntil(60*time.Second, func() bool { return drained(phase) }) {
-			return fmt.Errorf("phase A never drained: %s", deliveryReport(cols, phase))
-		}
-		fmt.Fprintf(out, "crashing broker %d\n", victim)
-		if err := ov.brokers[victim].Close(); err != nil {
-			return err
+		if *crashMid {
+			// Durable custody: crash straight into the in-flight traffic,
+			// losing the WAL's un-fsynced tail. Un-ACKed packets are still
+			// the upstream's responsibility; fsynced custody replays.
+			fmt.Fprintf(out, "crashing broker %d mid-traffic\n", victim)
+			if err := ov.brokers[victim].Crash(); err != nil {
+				return err
+			}
+		} else {
+			// Drain before the crash: without -datadir, hop-by-hop custody
+			// is in-memory, so a crashing broker may legitimately lose
+			// packets it has ACKed.
+			if !waitUntil(60*time.Second, func() bool { return drained(phase) }) {
+				return fmt.Errorf("phase A never drained: %s", deliveryReport(cols, phase))
+			}
+			fmt.Fprintf(out, "crashing broker %d\n", victim)
+			if err := ov.brokers[victim].Close(); err != nil {
+				return err
+			}
 		}
 		if err := publish(phase, 2*phase); err != nil {
 			return err
@@ -182,6 +206,11 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "broker %d: published %d, delivered %d, forwarded %d, dropped %d, queue drops %d, redials %d, reconnects %d\n",
 			b.ID(), st.Published, st.Delivered, st.Forwarded, st.Dropped,
 			st.QueueDrops, st.Redials, st.Reconnects)
+		if st.Wal.Enabled {
+			fmt.Fprintf(out, "broker %d wal: appends %d, fsyncs %d, bytes %d, replayed flights %d, checkpoints %d\n",
+				b.ID(), st.Wal.Appends, st.Wal.Fsyncs, st.Wal.Bytes,
+				st.Wal.ReplayedFlights, st.Wal.Checkpoints)
+		}
 	}
 	fmt.Fprintf(out, "delivery: %d packets to %d subscribers in %v — exactly once\n",
 		*packets, len(cols), elapsed.Round(time.Millisecond))
@@ -211,15 +240,25 @@ type overlay struct {
 	brokers   []*broker.Broker
 	addrs     []string
 	neighbors []map[int]string
+	dataRoot  string // per-broker WAL directories live under it; "" = memory
 	closeOnce sync.Once
 	closeErr  error
 }
 
+// dataDir returns broker id's WAL directory ("" in memory mode). Restarts
+// reuse the same directory so recovery replays across the crash.
+func (ov *overlay) dataDir(id int) string {
+	if ov.dataRoot == "" {
+		return ""
+	}
+	return filepath.Join(ov.dataRoot, fmt.Sprintf("broker-%d", id))
+}
+
 // buildOverlay starts n brokers on a chord-augmented ring (degree 3: no
 // single broker loss disconnects it), every listener chaos-wrapped.
-func buildOverlay(cn *chaos.Network, n int) (*overlay, error) {
+func buildOverlay(cn *chaos.Network, n int, dataRoot string) (*overlay, error) {
 	listeners := make([]net.Listener, n)
-	ov := &overlay{addrs: make([]string, n), neighbors: make([]map[int]string, n)}
+	ov := &overlay{addrs: make([]string, n), neighbors: make([]map[int]string, n), dataRoot: dataRoot}
 	for i := range listeners {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -240,7 +279,7 @@ func buildOverlay(cn *chaos.Network, n int) (*overlay, error) {
 		link(i, i+n/2)
 	}
 	for i := 0; i < n; i++ {
-		b, err := broker.New(brokerConfig(i, ov.addrs[i], ov.neighbors[i]))
+		b, err := broker.New(brokerConfig(i, ov.addrs[i], ov.neighbors[i], ov.dataDir(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -252,8 +291,9 @@ func buildOverlay(cn *chaos.Network, n int) (*overlay, error) {
 	return ov, nil
 }
 
-func brokerConfig(id int, addr string, neighbors map[int]string) broker.Config {
+func brokerConfig(id int, addr string, neighbors map[int]string, dataDir string) broker.Config {
 	return broker.Config{
+		DataDir:         dataDir,
 		ID:              id,
 		Listen:          addr,
 		Neighbors:       neighbors,
@@ -284,7 +324,7 @@ func (ov *overlay) restart(cn *chaos.Network, id int) error {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	b, err := broker.New(brokerConfig(id, ov.addrs[id], ov.neighbors[id]))
+	b, err := broker.New(brokerConfig(id, ov.addrs[id], ov.neighbors[id], ov.dataDir(id)))
 	if err != nil {
 		return err
 	}

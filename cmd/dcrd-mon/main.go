@@ -66,6 +66,10 @@ func printStats(out io.Writer, r *wire.StatsReply) {
 		r.Sessions, r.Subscriptions)
 	fmt.Fprintf(out, "  relay aggregation: %d ack batches (%d acks coalesced), %d bytes saved\n",
 		r.AckBatches, r.AckFramesCoalesced, r.RelayBytesSaved)
+	if r.Wal.Enabled {
+		fmt.Fprintf(out, "  wal: %d appends, %d fsyncs, %d bytes, %d replayed flights, %d checkpoints\n",
+			r.Wal.Appends, r.Wal.Fsyncs, r.Wal.Bytes, r.Wal.ReplayedFlights, r.Wal.Checkpoints)
+	}
 	if len(r.Shards) > 0 {
 		fmt.Fprintln(out, "shards:")
 		for i, sh := range r.Shards {

@@ -559,6 +559,20 @@ func (e *Engine[T]) HandleData(in Inbound) {
 	e.pools.releaseWork(w)
 }
 
+// InflightDests looks up a pending sent group by frame ID, returning the
+// packet it carries and the destinations its ACK would hand off. The
+// returned slice aliases engine-owned memory and is only valid until the
+// next engine call — callers that retain it must copy. The broker's durable
+// shell reads it just before HandleAck (which releases the flight) to
+// journal a custody-clear record.
+func (e *Engine[T]) InflightDests(frameID uint64) (pktID uint64, dests []int, ok bool) {
+	fl, live := e.inflight[frameID]
+	if !live {
+		return 0, nil, false
+	}
+	return fl.w.pkt.ID, fl.frame.Dests, true
+}
+
 // HandleAck resolves the in-flight group: the downstream neighbor took
 // responsibility for the group's destinations, so this node aggressively
 // forgets them (§III: "each node aggressively deletes a copy of packet once

@@ -221,6 +221,61 @@ func BenchmarkBrokerForwardPipe(b *testing.B) {
 	runForward(b, benchPipeOverlay(b))
 }
 
+// BenchmarkBrokerForwardDurable is BenchmarkBrokerForwardTCP with the
+// crash-durable custody WAL enabled on both brokers: every relayed frame is
+// group-committed to disk before its hop-by-hop ACK, so the delta against
+// BenchmarkBrokerForwardTCP is the price of the ACK-after-durable invariant
+// (DESIGN.md §16).
+func BenchmarkBrokerForwardDurable(b *testing.B) {
+	root := b.TempDir()
+	o := benchDurableOverlay(b, root, 2, [][2]int{{0, 1}})
+	runForward(b, o)
+}
+
+// benchDurableOverlay is benchOverlay with a per-broker WAL data directory
+// under root, enabling persistency on every node.
+func benchDurableOverlay(b *testing.B, root string, n int, links [][2]int) *overlay {
+	b.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	neighbors := make([]map[int]string, n)
+	for i := range neighbors {
+		neighbors[i] = make(map[int]string)
+	}
+	for _, l := range links {
+		neighbors[l[0]][l[1]] = addrs[l[1]]
+		neighbors[l[1]][l[0]] = addrs[l[0]]
+	}
+	dirs := durableDirs(root, n)
+	o := &overlay{addrs: addrs}
+	for i := 0; i < n; i++ {
+		cfg := benchConfig(i, addrs[i], neighbors[i])
+		cfg.DataDir = dirs[i]
+		bk, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bk.StartListener(listeners[i]); err != nil {
+			b.Fatal(err)
+		}
+		o.brokers = append(o.brokers, bk)
+	}
+	b.Cleanup(func() {
+		for _, bk := range o.brokers {
+			_ = bk.Close()
+		}
+	})
+	return o
+}
+
 // BenchmarkBrokerFanout measures one broker delivering every published
 // message to K local subscriber clients.
 func BenchmarkBrokerFanout(b *testing.B) {

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/algo1"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -113,6 +114,17 @@ type Config struct {
 	// queue (see shard.go). Defaults to runtime.GOMAXPROCS(0), capped at 64
 	// (the frame-ID encoding carries the shard index in 6 bits).
 	Shards int
+	// DataDir, when non-empty, enables crash-durable custody: every custody
+	// transfer is journaled to a write-ahead log in this directory BEFORE
+	// the hop-by-hop ACK releases the upstream copy, and a restarted broker
+	// replays undelivered flights from the log (durable.go, DESIGN.md §16).
+	// Empty (the default) keeps custody in memory only — the pre-durability
+	// behavior, byte-identical on the wire.
+	DataDir string
+	// walBeforeFlush is a test hook threaded to wal.Config.BeforeFlush:
+	// blocking it withholds WAL durability — and therefore upstream ACKs —
+	// while appends keep accumulating.
+	walBeforeFlush func()
 	// Logger receives diagnostics; nil discards them.
 	Logger *log.Logger
 	// Tracer, when non-nil, receives the engine's per-packet routing
@@ -193,6 +205,10 @@ type Broker struct {
 	// shards is the partitioned data plane: one single-threaded engine per
 	// shard, fed by a bounded mailbox (see shard.go). Immutable after New.
 	shards []*shard
+	// wal is the crash-durable custody journal (nil unless Config.DataDir
+	// is set); walReplayed counts the flights its recovery re-injected.
+	wal         *wal.Log
+	walReplayed atomic.Uint64
 	// epoch anchors the engine clock: engine time is time.Since(epoch).
 	epoch time.Time
 	// nextPacketID allocates overlay-unique packet IDs across all publisher
@@ -340,14 +356,28 @@ func New(cfg Config) (*Broker, error) {
 	// A restarted broker must not reuse frame or packet IDs its previous
 	// incarnation put on the wire recently: peers retain both in dedup
 	// state for up to 2×MaxLifetime, and a collision would silently swallow
-	// fresh traffic. Seeding the counters from the wall clock (masked to
-	// each counter's space) keeps them monotonic across restarts —
-	// nanoseconds advance far faster than frames are sent.
-	incarnation := uint64(time.Now().UnixNano())
-	b.nextPacketID.Store(incarnation & (1<<48 - 1))
+	// fresh traffic. In memory-custody mode the counters are seeded from
+	// the wall clock (masked to each counter's space) — monotonic across
+	// restarts because nanoseconds advance far faster than frames are sent.
+	// In durable mode the WAL's persisted incarnation number replaces the
+	// clock (see seedsFromIncarnation): replay re-injects old frame IDs, so
+	// fresh IDs must be partitioned from every previous incarnation's, not
+	// merely probably past them.
+	var recovered *wal.Recovered
+	pktSeed := uint64(time.Now().UnixNano()) & (1<<48 - 1)
+	frameSeed := pktSeed
+	if cfg.DataDir != "" {
+		rec, err := b.openWal()
+		if err != nil {
+			return nil, fmt.Errorf("broker %d: wal: %w", cfg.ID, err)
+		}
+		recovered = rec
+		pktSeed, frameSeed = seedsFromIncarnation(rec.Incarnation)
+	}
+	b.nextPacketID.Store(pktSeed)
 	b.shards = make([]*shard, cfg.Shards)
 	for i := range b.shards {
-		b.shards[i] = newShard(b, i, incarnation)
+		b.shards[i] = newShard(b, i, frameSeed)
 	}
 	// Shard goroutines start with the broker itself (not StartListener):
 	// tests and tools may attach pipe connections and pump frames before a
@@ -369,6 +399,12 @@ func New(cfg Config) (*Broker, error) {
 		// The control loop starts with the broker for the same reason the
 		// shards do: pipe-attached tests gossip before a listener exists.
 		b.goTracked(func() { b.ctrl.loop() })
+	}
+	// Replay goes last: the recovered flights are ordinary mailbox work and
+	// need running shards. Links are still down at this point, so replayed
+	// sends fail over (and, in Persistent mode, hold) until neighbors attach.
+	if recovered != nil {
+		b.replayRecovered(recovered)
 	}
 	return b, nil
 }
@@ -507,6 +543,13 @@ func (b *Broker) Close() error {
 		_ = c.conn.Close()
 	}
 	b.wg.Wait()
+	// The WAL closes dead last: shard drains may journal clears right up to
+	// shardWg.Wait, and its final flush makes everything appended durable.
+	// Custody still outstanding at close stays in the log — that is the
+	// point — and the next incarnation replays it.
+	if b.wal != nil {
+		return b.wal.Close()
+	}
 	return nil
 }
 
@@ -534,6 +577,9 @@ type Stats struct {
 	// EWMA estimates with each origin's last gossip epoch.
 	Ctrl  wire.CtrlStat
 	Links []wire.LinkStat
+	// Wal reports the crash-durable custody journal (Enabled false and
+	// zeros unless Config.DataDir is set).
+	Wal wire.WalStat
 }
 
 // Stats returns the current counters. All counters are atomic, so this
@@ -543,6 +589,7 @@ func (b *Broker) Stats() Stats {
 	return Stats{
 		Ctrl:  ctrl,
 		Links: links,
+		Wal:   b.walStat(),
 
 		Published:  b.published.Load(),
 		Delivered:  b.delivered.Load(),
@@ -601,6 +648,7 @@ func (b *Broker) statsReply(token uint64) *wire.StatsReply {
 		RelayBytesSaved:    b.relayBytesSaved.Load(),
 	}
 	reply.Ctrl, reply.Links = b.ctrlStats()
+	reply.Wal = b.walStat()
 
 	// Per-shard stats: a barrier run gives an on-shard view (mailbox depth
 	// plus the engine's in-flight group count); if the broker is shutting

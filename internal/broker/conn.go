@@ -744,12 +744,12 @@ func (b *Broker) handleNeighborMsg(nc *neighborConn, msg wire.Message) {
 			b.handleAck(id)
 		}
 	case *wire.Data:
-		b.ackData(nc, m.FrameID)
+		b.custodyAck(nc, m)
 		b.handleData(nc.id, m)
 	case *wire.DataBatch:
 		for i := range m.Frames {
 			d := &m.Frames[i]
-			b.ackData(nc, d.FrameID)
+			b.custodyAck(nc, d)
 			b.handleData(nc.id, d)
 		}
 	case *wire.LinkState:

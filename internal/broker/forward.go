@@ -54,6 +54,27 @@ func (b *Broker) publishLocal(m *wire.Publish) {
 	// The snapshot's destination set is immutable but the item's slices are
 	// recycled scratch, so copy rather than alias it.
 	it.dests = append(it.dests[:0], b.routesSnap.Load().destsByTopic[m.Topic]...)
+	if b.wal != nil && len(it.dests) > 0 {
+		// Origin custody: journal before the packet reaches the engine, so a
+		// crash replays it as a publish of the still-outstanding dests.
+		// Frame ID 0 marks an origin record — real frame IDs never collide
+		// with it (the counter seeds above zero and the broker/shard bits
+		// sit higher still). Forwarding need not wait for durability: there
+		// is no upstream copy to release, and a pre-fsync crash only loses
+		// what a memory-custody broker would have lost anyway.
+		d := wire.Data{
+			PacketID:    pid,
+			Topic:       m.Topic,
+			Source:      int32(b.cfg.ID),
+			PublishedAt: now,
+			Deadline:    deadline,
+			Payload:     payload,
+		}
+		for _, dest := range it.dests {
+			d.Dests = append(d.Dests, int32(dest))
+		}
+		b.wal.AppendCustody(&d, -1)
+	}
 	b.shardOf(pid).enqueue(it)
 
 	b.deliver(deliverTo, &wire.Deliver{

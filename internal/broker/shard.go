@@ -42,6 +42,10 @@ const (
 	itemAck
 	itemTimer
 	itemBarrier
+	// itemSeedDelivered preloads the shard's delivery-dedup set with a
+	// packet ID the WAL recorded as already delivered locally, so durable
+	// replay cannot deliver it twice (durable.go).
+	itemSeedDelivered
 )
 
 // shardItem is one unit of mailbox work. Items are pooled; producers fill
@@ -102,12 +106,15 @@ type shard struct {
 	processed atomic.Uint64
 }
 
-// newShard builds one shard. incarnation seeds the frame counter so a
+// newShard builds one shard. frameSeed seeds the frame counter so a
 // restarted broker cannot reuse frame IDs its previous incarnation put on
-// the wire within the peers' dedup horizon (nanoseconds advance far faster
-// than frames are sent, and the 42-bit counter space spans ~73 minutes of
-// wall clock — orders of magnitude past the 2×MaxLifetime horizon).
-func newShard(b *Broker, idx int, incarnation uint64) *shard {
+// the wire within the peers' dedup horizon: in memory mode it is the wall
+// clock (nanoseconds advance far faster than frames are sent, and the
+// 42-bit counter space spans ~73 minutes of wall clock — orders of
+// magnitude past the 2×MaxLifetime horizon), in durable mode the WAL's
+// persisted incarnation shifted above the per-restart counter range
+// (seedsFromIncarnation).
+func newShard(b *Broker, idx int, frameSeed uint64) *shard {
 	nodesHint := b.cfg.ID + len(b.cfg.Neighbors) + 1
 	s := &shard{
 		b:   b,
@@ -117,7 +124,7 @@ func newShard(b *Broker, idx int, incarnation uint64) *shard {
 		// means each packet consults exactly one shard's set), floored so
 		// tiny deployments with many shards keep a useful horizon.
 		deliveredSeen: newDedup(max(1<<16/b.cfg.Shards, 1<<12)),
-		nextFrameID:   incarnation & (1<<42 - 1),
+		nextFrameID:   frameSeed & (1<<42 - 1),
 	}
 	s.pools = algo2.NewPools[*ackTimer](nodesHint)
 	s.eng = algo2.NewEngine[*ackTimer](algo2.Config{
@@ -223,6 +230,15 @@ func (s *shard) handle(it *shardItem) {
 			Path:  it.path,
 		})
 	case itemAck:
+		if b.wal != nil {
+			// Journal the custody hand-off before HandleAck releases the
+			// flight (InflightDests aliases engine memory valid only until
+			// then): the neighbor now holds these dests, so a crash after
+			// this record must not replay them from here.
+			if pid, dests, ok := s.eng.InflightDests(it.frameID); ok {
+				b.walClear(pid, dests)
+			}
+		}
 		if to, ok := s.eng.HandleAck(it.frameID); ok {
 			if nc := b.neighbors[to]; nc != nil {
 				nc.ackSucceeded()
@@ -237,6 +253,8 @@ func (s *shard) handle(it *shardItem) {
 			it.bfn(s)
 		}
 		it.acks <- struct{}{}
+	case itemSeedDelivered:
+		s.deliveredSeen.Seen(it.pktID)
 	}
 	putItem(it)
 	s.flushPending()
@@ -414,6 +432,13 @@ func (sh shardShell) Deliver(pkt *algo2.Packet, _ int) {
 	if s.deliveredSeen.Seen(pkt.ID) {
 		return
 	}
+	if s.b.wal != nil {
+		// Journaled at the same point the dedup set marks the packet — a
+		// topic with no local ledger still counts as delivered, exactly as
+		// it does in memory. Durability is group-committed, not awaited
+		// (see wal.AppendDeliver for the redelivery window this accepts).
+		s.b.wal.AppendDeliver(pkt.ID)
+	}
 	led := s.b.localLedger(pkt.Topic)
 	if led == nil {
 		return
@@ -430,9 +455,11 @@ func (sh shardShell) Deliver(pkt *algo2.Packet, _ int) {
 	})
 }
 
-// Drop counts abandoned destinations.
+// Drop counts abandoned destinations — and, in durable mode, settles them
+// in the WAL so an abandoned packet is not resurrected at the next restart.
 func (sh shardShell) Drop(pkt *algo2.Packet, dests []int, reason algo2.DropReason) {
 	b := sh.s.b
+	b.walClear(pkt.ID, dests)
 	b.dropped.Add(uint64(len(dests)))
 	for _, dest := range dests {
 		if reason == algo2.DropExhausted {

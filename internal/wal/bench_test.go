@@ -1,0 +1,41 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkWalAppend measures the appender-side cost of journaling one
+// custody record — the synchronous work added to a connection read loop in
+// durable mode. Group commit runs concurrently; ns/op includes its
+// backpressure but amortizes the fsyncs across the batch.
+func BenchmarkWalAppend(b *testing.B) {
+	l, _, err := Open(Config{Dir: b.TempDir(), NodeID: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	d := &wire.Data{
+		PacketID:    1,
+		Topic:       3,
+		Source:      1,
+		PublishedAt: time.Unix(100, 0),
+		Deadline:    150 * time.Millisecond,
+		Dests:       []int32{2, 5},
+		Path:        []int32{1},
+		Payload:     make([]byte, 256),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.FrameID = uint64(i + 1)
+		d.PacketID = uint64(i + 1)
+		l.AppendCustody(d, 1)
+		l.AppendClear(uint64(i+1), []int{2, 5})
+	}
+	b.StopTimer()
+	st := l.Stats()
+	b.ReportMetric(float64(st.Appends)/float64(st.Fsyncs+1), "appends/fsync")
+}

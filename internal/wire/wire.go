@@ -93,6 +93,22 @@ const (
 	// estimates when no data traffic exercises the link. Only sent to peers
 	// that advertised CapLinkState in their Hello.
 	TypeProbe
+	// TypeWalCustody is a custody-taken record in a broker's write-ahead
+	// log: the full Data frame the broker accepted responsibility for. It
+	// never crosses the network — the WAL reuses the wire codec as its
+	// on-disk record format so recovery shares the frame decoder.
+	TypeWalCustody
+	// TypeWalClear is a WAL record marking destinations of a custody record
+	// as handed off (downstream ACKed) or dropped; a packet whose every
+	// destination is cleared needs no replay.
+	TypeWalClear
+	// TypeWalDeliver is a WAL record marking a packet as delivered to this
+	// broker's local subscribers, so replay after a crash never re-delivers.
+	TypeWalDeliver
+	// TypeWalMeta is a WAL bookkeeping record carrying the broker's
+	// incarnation number, which seeds frame/packet ID minting so IDs are
+	// never reused across restarts.
+	TypeWalMeta
 )
 
 // String returns the message type name.
@@ -138,6 +154,14 @@ func (t Type) String() string {
 		return "LINK_STATE"
 	case TypeProbe:
 		return "PROBE"
+	case TypeWalCustody:
+		return "WAL_CUSTODY"
+	case TypeWalClear:
+		return "WAL_CLEAR"
+	case TypeWalDeliver:
+		return "WAL_DELIVER"
+	case TypeWalMeta:
+		return "WAL_META"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -420,6 +444,55 @@ type CtrlStat struct {
 	ProbeReplies uint64
 }
 
+// WalCustody is the custody-taken record in a broker's write-ahead log: the
+// exact Data frame the broker accepted responsibility for (FrameID is the
+// inbound relay frame, or 0 for locally published packets). Logged before
+// the hop-by-hop ACK is sent, so the ACK is a durability promise.
+type WalCustody struct {
+	Data
+}
+
+// WalClear marks destinations of a logged custody record as settled —
+// downstream custody transferred (ACK received) or the packet dropped. A
+// record whose every destination is cleared is dead weight the next
+// checkpoint compacts away.
+type WalClear struct {
+	PacketID uint64
+	Dests    []int32
+}
+
+// WalDeliver marks a packet as delivered to this broker's local
+// subscribers; recovery preloads it into the delivery dedup set so a
+// replayed flight never delivers twice.
+type WalDeliver struct {
+	PacketID uint64
+}
+
+// WalMeta carries the broker's incarnation number, bumped on every WAL
+// open. It seeds the frame-ID and packet-ID minting counters so a restarted
+// broker never reuses IDs its peers may still remember.
+type WalMeta struct {
+	Incarnation uint64
+}
+
+// WalStat reports a broker's custody write-ahead log activity.
+type WalStat struct {
+	// Enabled is false when the broker runs without a DataDir (in-memory
+	// custody only).
+	Enabled bool
+	// Appends counts records appended; Fsyncs counts group-commit flushes
+	// (many appends share one fdatasync); Bytes is the total record bytes
+	// written.
+	Appends uint64
+	Fsyncs  uint64
+	Bytes   uint64
+	// ReplayedFlights counts undelivered custody records re-injected into
+	// the shard engines at startup.
+	ReplayedFlights uint64
+	// Checkpoints counts segment-rotation compactions.
+	Checkpoints uint64
+}
+
 // RouteStat is one (topic, subscriber broker) routing-table entry.
 type RouteStat struct {
 	Topic   int32
@@ -460,13 +533,16 @@ type StatsReply struct {
 	AckBatches         uint64
 	AckFramesCoalesced uint64
 	RelayBytesSaved    uint64
-	Neighbors []NeighborStat
-	Routes    []RouteStat
-	Shards    []ShardStat
+	Neighbors          []NeighborStat
+	Routes             []RouteStat
+	Shards             []ShardStat
 	// Links is the gossip-fed overlay-wide link view; Ctrl summarizes the
 	// live control plane driving it.
 	Links []LinkStat
 	Ctrl  CtrlStat
+	// Wal summarizes the custody write-ahead log (zero-valued with
+	// Enabled=false when the broker runs in-memory).
+	Wal WalStat
 }
 
 // interface conformance
@@ -491,6 +567,10 @@ var (
 	_ Message = (*DataBatch)(nil)
 	_ Message = (*LinkState)(nil)
 	_ Message = (*Probe)(nil)
+	_ Message = (*WalCustody)(nil)
+	_ Message = (*WalClear)(nil)
+	_ Message = (*WalDeliver)(nil)
+	_ Message = (*WalMeta)(nil)
 )
 
 // Type implementations.
@@ -514,6 +594,10 @@ func (*AckBatch) Type() Type     { return TypeAckBatch }
 func (*DataBatch) Type() Type    { return TypeDataBatch }
 func (*LinkState) Type() Type    { return TypeLinkState }
 func (*Probe) Type() Type        { return TypeProbe }
+func (*WalCustody) Type() Type   { return TypeWalCustody }
+func (*WalClear) Type() Type     { return TypeWalClear }
+func (*WalDeliver) Type() Type   { return TypeWalDeliver }
+func (*WalMeta) Type() Type      { return TypeWalMeta }
 
 // AppendFrame appends one complete encoded frame for msg — length header,
 // type tag and body — to dst and returns the extended slice. It never
@@ -635,6 +719,10 @@ type Reader struct {
 	dataBatch    DataBatch
 	linkState    LinkState
 	probe        Probe
+	walCustody   WalCustody
+	walClear     WalClear
+	walDeliver   WalDeliver
+	walMeta      WalMeta
 }
 
 // NewReader returns a Reader decoding frames from r.
@@ -721,6 +809,14 @@ func (rd *Reader) message(t Type) Message {
 		return &rd.linkState
 	case TypeProbe:
 		return &rd.probe
+	case TypeWalCustody:
+		return &rd.walCustody
+	case TypeWalClear:
+		return &rd.walClear
+	case TypeWalDeliver:
+		return &rd.walDeliver
+	case TypeWalMeta:
+		return &rd.walMeta
 	default:
 		return nil
 	}
@@ -769,6 +865,14 @@ func newMessage(t Type) (Message, error) {
 		return &LinkState{}, nil
 	case TypeProbe:
 		return &Probe{}, nil
+	case TypeWalCustody:
+		return &WalCustody{}, nil
+	case TypeWalClear:
+		return &WalClear{}, nil
+	case TypeWalDeliver:
+		return &WalDeliver{}, nil
+	case TypeWalMeta:
+		return &WalMeta{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}
@@ -1103,6 +1207,37 @@ func (m *Data) decode(r *reader) (err error) {
 	return err
 }
 
+// WalCustody's body is exactly a Data body (promoted methods); only the
+// type tag differs, so a WAL segment is a valid frame stream for the
+// standard decoder.
+
+func (m *WalClear) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.PacketID)
+	return appendNodes(dst, m.Dests)
+}
+
+func (m *WalClear) decode(r *reader) (err error) {
+	if m.PacketID, err = r.u64(); err != nil {
+		return err
+	}
+	m.Dests, err = r.nodesInto(m.Dests)
+	return err
+}
+
+func (m *WalDeliver) appendBody(dst []byte) []byte { return appendU64(dst, m.PacketID) }
+
+func (m *WalDeliver) decode(r *reader) (err error) {
+	m.PacketID, err = r.u64()
+	return err
+}
+
+func (m *WalMeta) appendBody(dst []byte) []byte { return appendU64(dst, m.Incarnation) }
+
+func (m *WalMeta) decode(r *reader) (err error) {
+	m.Incarnation, err = r.u64()
+	return err
+}
+
 func (m *Ack) appendBody(dst []byte) []byte { return appendU64(dst, m.FrameID) }
 
 func (m *Ack) decode(r *reader) (err error) {
@@ -1263,6 +1398,12 @@ func (m *StatsReply) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Ctrl.StaleDrops)
 	dst = appendU64(dst, m.Ctrl.ProbesSent)
 	dst = appendU64(dst, m.Ctrl.ProbeReplies)
+	dst = appendBool(dst, m.Wal.Enabled)
+	dst = appendU64(dst, m.Wal.Appends)
+	dst = appendU64(dst, m.Wal.Fsyncs)
+	dst = appendU64(dst, m.Wal.Bytes)
+	dst = appendU64(dst, m.Wal.ReplayedFlights)
+	dst = appendU64(dst, m.Wal.Checkpoints)
 	return dst
 }
 
@@ -1435,7 +1576,25 @@ func (m *StatsReply) decode(r *reader) (err error) {
 	if m.Ctrl.ProbesSent, err = r.u64(); err != nil {
 		return err
 	}
-	m.Ctrl.ProbeReplies, err = r.u64()
+	if m.Ctrl.ProbeReplies, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Wal.Enabled, err = r.boolean(); err != nil {
+		return err
+	}
+	if m.Wal.Appends, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Wal.Fsyncs, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Wal.Bytes, err = r.u64(); err != nil {
+		return err
+	}
+	if m.Wal.ReplayedFlights, err = r.u64(); err != nil {
+		return err
+	}
+	m.Wal.Checkpoints, err = r.u64()
 	return err
 }
 

@@ -79,6 +79,10 @@ func TestRoundTripAllTypes(t *testing.T) {
 				LinkStatesSent: 88, LinkStatesRecv: 90, StaleDrops: 2,
 				ProbesSent: 14, ProbeReplies: 13,
 			},
+			Wal: WalStat{
+				Enabled: true, Appends: 1000, Fsyncs: 40, Bytes: 1 << 20,
+				ReplayedFlights: 3, Checkpoints: 2,
+			},
 		},
 		&StatsReply{Token: 1, BrokerID: 0},
 		&SessionHello{Subscribers: 100000},
@@ -109,7 +113,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 			{
 				FrameID: 90, PacketID: 2, Topic: -1, Source: 7,
 				PublishedAt: time.Unix(0, 0), Deadline: -time.Millisecond,
-				Dests: []int32{-2147483648, 2147483647},
+				Dests:   []int32{-2147483648, 2147483647},
 				Payload: []byte{0xFF},
 			},
 		}},
@@ -122,6 +126,17 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&LinkState{Origin: -1, Epoch: 0},
 		&Probe{Token: 1 << 63},
 		&Probe{Token: 0, Reply: true},
+		&WalCustody{Data: Data{
+			FrameID: 42, PacketID: 99, Topic: 3, Source: 1,
+			PublishedAt: at, Deadline: 150 * time.Millisecond,
+			Dests: []int32{2, 5}, Path: []int32{1},
+			Payload: []byte("custody"),
+		}},
+		&WalCustody{Data: Data{PublishedAt: time.Unix(0, 0)}},
+		&WalClear{PacketID: 99, Dests: []int32{2, 5}},
+		&WalClear{PacketID: 0},
+		&WalDeliver{PacketID: 1 << 63},
+		&WalMeta{Incarnation: 7},
 	}
 	for _, msg := range tests {
 		t.Run(msg.Type().String(), func(t *testing.T) {

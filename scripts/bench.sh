@@ -6,7 +6,7 @@
 #   scripts/bench.sh [out.json]     # snapshot a run to out.json
 #   scripts/bench.sh -check         # diff a fresh run against the baseline
 #
-# Runs four suites with -benchmem, 5 counts each:
+# Runs five suites with -benchmem, 5 counts each:
 #   - Approach*, Figure2 and Rebuild (root package): full-simulation cost
 #   - BenchmarkWire* (internal/wire): codec encode/decode cost and allocs
 #   - BenchmarkBroker*, BenchmarkEdge* and BenchmarkRelayChain
@@ -20,6 +20,11 @@
 #     through the shared incremental rebuild engine — the quiet
 #     (pointer-identity no-op) and dirty (sparse gossip delta, warm-start)
 #     paths the live broker's LinkStateInterval tick takes
+#   - BenchmarkWalAppend (internal/wal): one group-committed custody append
+#     to the crash-durable WAL (ns per durable record, appends/fsync
+#     amortization); the broker suite's BenchmarkBrokerForwardDurable
+#     measures the same cost end to end (forwarding with the
+#     ACK-after-durable invariant on, DESIGN.md §16)
 # saves the raw `go test` output next to the JSON (for benchstat), and writes
 # the per-benchmark mean ns/op, B/op, allocs/op and custom metrics
 # (qos_ratio, msgs/sec, ...) to out.json (default: BENCH_current.json).
@@ -29,9 +34,11 @@
 # benchmark's mean ns/op rose — or any "/sec" throughput metric fell, or
 # any latency percentile (p50_ms, p99_ms, ...) rose — by more than 20%
 # against the baseline's "current" section. The sharded scaling curve's
-# 8-core point, the edge aggregation benchmark and the relay-chain batch
-# benchmark are additionally pinned with -require, so renaming or dropping
-# any of them cannot silently un-gate it.
+# 8-core point, the edge aggregation benchmark, the relay-chain batch
+# benchmark, the control-plane epoch paths and the WAL benchmarks
+# (BenchmarkWalAppend, BenchmarkBrokerForwardDurable) are additionally
+# pinned with -require, so renaming or dropping any of them cannot
+# silently un-gate it.
 # (BenchmarkBrokerSharded sets GOMAXPROCS inside its cpus=N sub-runs rather
 # than via -cpu: benchjson strips go's -N name suffix when merging counts,
 # so -cpu variants would collapse into one entry.)
@@ -55,11 +62,12 @@ run_all() {
 	# numbers are all setup noise, so they get a long fixed iteration count.
 	go test -run '^$' -bench 'Edge|RelayChain' -benchmem -count 5 -benchtime 1000x ./internal/broker
 	go test -run '^$' -bench 'ControlPlaneEpoch' -benchmem -count 5 ./internal/algo1
+	go test -run '^$' -bench 'Wal' -benchmem -count 5 ./internal/wal
 }
 
 if [ "${1:-}" = "-check" ]; then
 	run_all | go run ./cmd/benchjson -check BENCH_baseline.json \
-		-require 'BenchmarkBrokerSharded/cpus=8,BenchmarkEdgeFanout/mux,BenchmarkRelayChain/batch,BenchmarkControlPlaneEpoch/quiet,BenchmarkControlPlaneEpoch/dirty'
+		-require 'BenchmarkBrokerSharded/cpus=8,BenchmarkEdgeFanout/mux,BenchmarkRelayChain/batch,BenchmarkControlPlaneEpoch/quiet,BenchmarkControlPlaneEpoch/dirty,BenchmarkWalAppend,BenchmarkBrokerForwardDurable'
 	exit
 fi
 
